@@ -1,0 +1,1 @@
+bench/common.ml: Engine Kernel Mach Mach_util Printf Task Thread

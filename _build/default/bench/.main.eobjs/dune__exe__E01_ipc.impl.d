@@ -1,0 +1,1 @@
+bench/e01_ipc.ml: Bytes Common Kernel List Mach Mach_ipc Message Syscalls Table Task Thread

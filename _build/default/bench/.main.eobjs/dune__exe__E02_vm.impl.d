@@ -1,0 +1,1 @@
+bench/e02_vm.ml: Bytes Common Kernel List Mach Prot Syscalls Table Vm_types

@@ -1,0 +1,1 @@
+bench/e03_copy_map.ml: Bytes Common Ivar Kernel List Mach Mach_ipc Message Printf Syscalls Table Task Thread

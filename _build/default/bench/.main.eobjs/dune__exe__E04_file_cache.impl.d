@@ -1,0 +1,1 @@
+bench/e04_file_cache.ml: Common Disk Engine Kernel Ktypes List Mach Mach_baseline Mach_pagers Mach_workloads Printf Rng Table Task Thread

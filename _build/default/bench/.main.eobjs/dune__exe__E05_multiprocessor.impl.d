@@ -1,0 +1,1 @@
+bench/e05_multiprocessor.ml: Array Bytes Common Engine Ivar Kernel List Mach Mach_ipc Machine Message Printf Syscalls Table Task Thread

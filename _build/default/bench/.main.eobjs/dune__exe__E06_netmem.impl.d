@@ -1,0 +1,1 @@
+bench/e06_netmem.ml: Array Common Engine Fault Ivar Kernel List Mach Mach_pagers Mach_workloads Printf Rng Syscalls Table Task Thread

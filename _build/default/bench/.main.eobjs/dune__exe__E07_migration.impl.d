@@ -1,0 +1,1 @@
+bench/e07_migration.ml: Array Bytes Char Common Engine Fault Ivar Kernel List Mach Mach_pagers Printf Syscalls Table Task Thread

@@ -1,0 +1,1 @@
+bench/e08_camelot.ml: Bytes Common Disk Engine Kernel Mach Mach_fs Mach_pagers Printf Rng Syscalls Table Task Thread

@@ -1,0 +1,1 @@
+bench/e09_failures.ml: Bytes Common Engine Fault Kctx Kernel Ktypes Mach Memory_object_server Printf Prot Syscalls Table Task Vm_types

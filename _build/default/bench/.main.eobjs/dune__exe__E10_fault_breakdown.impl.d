@@ -1,0 +1,1 @@
+bench/e10_fault_breakdown.ml: Bytes Common Ivar Kernel List Mach Mach_hw Memory_object_server Prot Syscalls Table Task Thread Vm_map

@@ -1,0 +1,1 @@
+bench/e11_fork_cow.ml: Bytes Common Ivar Kernel List Mach Machine Option Printf Syscalls Table Task Thread Vm_types

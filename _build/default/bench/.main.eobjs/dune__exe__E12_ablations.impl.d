@@ -1,0 +1,1 @@
+bench/e12_ablations.ml: Bytes Char Common Disk Engine Ivar Kctx Kernel Ktypes List Mach Mach_hw Mach_pagers Printf Syscalls Table Task Thread Vm_map Vm_object Vm_types

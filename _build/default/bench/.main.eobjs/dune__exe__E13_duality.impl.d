@@ -1,0 +1,1 @@
+bench/e13_duality.ml: Array Bytes Common Engine Fault Ivar Kernel List Mach Mach_ipc Mach_pagers Mach_sim Machine Message Option Printf Syscalls Table Task Thread Vm_types

@@ -1,0 +1,52 @@
+(* Shared helpers for the experiment harness. *)
+
+open Mach
+module Table = Mach_util.Table
+module Rng = Mach_util.Rng
+
+(* Run a scenario inside a fresh single-host system; the callback runs
+   on a task thread. Returns the callback's result. *)
+let run_system ?config f =
+  let sys = Kernel.create_system ?config () in
+  let result = ref None in
+  Engine.spawn sys.Kernel.engine ~name:"bench-setup" (fun () ->
+      let task = Task.create sys.Kernel.kernel ~name:"bench" () in
+      ignore
+        (Thread.spawn task ~name:"bench.main" (fun () -> result := Some (f sys task))));
+  Engine.run sys.Kernel.engine;
+  match !result with
+  | Some r -> r
+  | None -> failwith "bench scenario deadlocked"
+
+let run_cluster ~hosts ?config f =
+  let cluster = Kernel.create_cluster ~hosts ?config () in
+  let result = ref None in
+  Engine.spawn cluster.Kernel.c_engine ~name:"bench-setup" (fun () ->
+      result := Some (f cluster));
+  Engine.run cluster.Kernel.c_engine;
+  match !result with
+  | Some r -> r
+  | None -> failwith "bench cluster scenario deadlocked"
+
+(* Simulated-time stopwatch around a thunk running in the current
+   simulated thread. *)
+let timed engine f =
+  let t0 = Engine.now engine in
+  let r = f () in
+  (r, Engine.now engine -. t0)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error _ -> failwith ("unexpected failure: " ^ what)
+
+let us v = Printf.sprintf "%.1f" v
+let us0 v = Printf.sprintf "%.0f" v
+let ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.2fx" (a /. b)
+
+type experiment = {
+  id : string;  (** e.g. "E4" *)
+  title : string;
+  paper_claim : string;
+  run : unit -> Table.t list;
+  quick : unit -> unit;  (** scaled-down body for bechamel *)
+}

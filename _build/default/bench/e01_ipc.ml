@@ -1,0 +1,93 @@
+(* E1 — Table 3-1/3-2: primitive message and port operation costs. *)
+
+open Mach
+open Common
+
+let null_msg ~dest ?reply () =
+  Message.make ?reply ~dest [ Message.Data (Bytes.create 32) ]
+
+let run_body ~rounds =
+  run_system (fun sys task ->
+      let engine = sys.Kernel.engine in
+      let server = Task.create sys.Kernel.kernel ~name:"echo" () in
+      let svc = Syscalls.port_allocate server ~backlog:64 () in
+      let svc_port = Mach_ipc.Port_space.lookup_exn (Task.space server) svc in
+      ignore
+        (Thread.spawn server ~name:"echo.main" (fun () ->
+             let continue_serving = ref true in
+             while !continue_serving do
+               match Syscalls.msg_receive server ~from:(`Port svc) () with
+               | Ok msg -> (
+                 match msg.Message.header.reply with
+                 | Some reply -> (
+                   match Syscalls.msg_send server (null_msg ~dest:reply ()) with
+                   | Ok () -> ()
+                   | Error _ -> continue_serving := false)
+                 | None -> ())
+               | Error _ -> continue_serving := false
+             done));
+      (* One-way send into a drained queue. *)
+      let sink = Task.create sys.Kernel.kernel ~name:"sink" () in
+      let sink_name = Syscalls.port_allocate sink ~backlog:(rounds + 1) () in
+      let sink_port = Mach_ipc.Port_space.lookup_exn (Task.space sink) sink_name in
+      let (), send_us =
+        timed engine (fun () ->
+            for _ = 1 to rounds do
+              ignore (Syscalls.msg_send task (null_msg ~dest:sink_port ()))
+            done)
+      in
+      (* Receive cost. *)
+      let (), recv_us =
+        timed engine (fun () ->
+            for _ = 1 to rounds do
+              ignore (Syscalls.msg_receive sink ~from:(`Port sink_name) ())
+            done)
+      in
+      (* Full RPC. *)
+      let reply_name = Syscalls.port_allocate task () in
+      let reply_port = Mach_ipc.Port_space.lookup_exn (Task.space task) reply_name in
+      let (), rpc_us =
+        timed engine (fun () ->
+            for _ = 1 to rounds do
+              ignore (Syscalls.msg_rpc task (null_msg ~dest:svc_port ~reply:reply_port ()) ())
+            done)
+      in
+      (* Port management. *)
+      let (), port_us =
+        timed engine (fun () ->
+            for _ = 1 to rounds do
+              let n = Syscalls.port_allocate task () in
+              Syscalls.port_deallocate task n
+            done)
+      in
+      let (), status_us =
+        timed engine (fun () ->
+            for _ = 1 to rounds do
+              ignore (Syscalls.port_status task reply_name)
+            done)
+      in
+      let per x = x /. float_of_int rounds in
+      [
+        ("msg_send (32-byte message, one way)", per send_us);
+        ("msg_receive", per recv_us);
+        ("msg_rpc (round trip)", per rpc_us);
+        ("port_allocate + port_deallocate", per port_us);
+        ("port_status", per status_us);
+      ])
+
+let run () =
+  let rows = run_body ~rounds:200 in
+  let t = Table.create ~title:"E1: IPC primitive operations (Table 3-1/3-2)" ~columns:[ "operation"; "simulated us" ] in
+  List.iter (fun (op, v) -> Table.row t [ op; us v ]) rows;
+  [ t ]
+
+let experiment =
+  {
+    id = "E1";
+    title = "IPC primitives";
+    paper_claim =
+      "Tables 3-1/3-2 define msg_send/msg_receive/msg_rpc and the port operations; a local \
+       message exchange costs on the order of 100 us on 1987 hardware.";
+    run;
+    quick = (fun () -> ignore (run_body ~rounds:10));
+  }

@@ -1,0 +1,173 @@
+(* E9 — §6: the problems of external memory management, and the
+   kernel's defenses. Injects each failure the paper lists and reports
+   the containment mechanism that handled it. *)
+
+open Mach
+open Common
+module Mos = Memory_object_server
+
+let page = 4096
+
+(* A manager that never answers pager_data_request. *)
+let silent_manager kernel =
+  let task = Task.create kernel ~name:"silent-mgr" () in
+  Mos.start task Mos.no_callbacks
+
+(* Scenario 1/2: thread blocked on data from a hostile manager; the
+   §6.2.1 options — abort after timeout, or substitute zeroes. *)
+let run_unresponsive ~policy =
+  run_system (fun sys task ->
+      let srv = silent_manager sys.Kernel.kernel in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(4 * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      let engine = sys.Kernel.engine in
+      let r, elapsed = timed engine (fun () -> Syscalls.read_bytes task ~addr ~len:8 ~policy ()) in
+      (r, elapsed))
+
+(* Scenario 3: manager that accepts pager_data_write but never releases
+   the data — §6.2.2 double paging must rescue the frames. *)
+let run_hoarder () =
+  let config = { Kernel.default_config with Kernel.phys_frames = 128 } in
+  run_system ~config (fun sys task ->
+      let kernel = sys.Kernel.kernel in
+      let mgr_task = Task.create kernel ~name:"hoarder-mgr" () in
+      let callbacks =
+        {
+          Mos.no_callbacks with
+          Mos.on_data_request =
+            (fun srv ~memory_object:_ ~request ~offset ~length ~desired_access:_ ->
+              Mos.data_unavailable srv ~request ~offset ~size:length);
+          (* Swallow the data; never call release. *)
+          Mos.on_data_write = (fun _ ~memory_object:_ ~offset:_ ~data:_ ~release:_ -> ());
+        }
+      in
+      let srv = Mos.start mgr_task callbacks in
+      let memory_object = Mos.create_memory_object srv () in
+      let npages = 200 in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(npages * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      (* Dirty more pages than physical memory: pageout hands them to
+         the hoarding manager. *)
+      for i = 0 to npages - 1 do
+        ignore
+          (ok_exn "dirty"
+             (Syscalls.write_bytes task ~addr:(addr + (i * page)) (Bytes.make 32 'd')
+                ~policy:(Fault.Abort_after 60_000_000.0) ()))
+      done;
+      (* Let the release timeouts fire. *)
+      Engine.sleep 2_000_000.0;
+      let stats = Kernel.stats kernel in
+      let still_alive =
+        match Syscalls.vm_allocate task ~size:(4 * page) ~anywhere:true () with
+        | _addr -> (
+          match Syscalls.write_bytes task ~addr:_addr (Bytes.make 16 'x') () with
+          | Ok () -> true
+          | Error _ -> false)
+        | exception _ -> false
+      in
+      (stats.Vm_types.s_pageout_to_default, still_alive))
+
+(* Scenario 4: manager floods the kernel with unsolicited pre-paged
+   data; the kernel only accepts while unreserved frames exist. *)
+let run_flooder () =
+  let config = { Kernel.default_config with Kernel.phys_frames = 128 } in
+  run_system ~config (fun sys task ->
+      let kernel = sys.Kernel.kernel in
+      let mgr_task = Task.create kernel ~name:"flood-mgr" () in
+      let offered = 4096 in
+      let callbacks =
+        {
+          Mos.no_callbacks with
+          Mos.on_data_request =
+            (fun srv ~memory_object:_ ~request ~offset:_ ~length:_ ~desired_access:_ ->
+              (* Respond to any request with a colossal unsolicited
+                 blob starting at 0. *)
+              Mos.data_provided srv ~request ~offset:0
+                ~data:(Bytes.make (offered * page) 'F')
+                ~lock_value:Prot.none);
+        }
+      in
+      let srv = Mos.start mgr_task callbacks in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(offered * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      ignore (Syscalls.read_bytes task ~addr ~len:8 ~policy:(Fault.Abort_after 10_000_000.0) ());
+      Engine.sleep 100_000.0;
+      let free_after = Kernel.free_frames kernel in
+      let reserved = kernel.Ktypes.k_kctx.Kctx.reserved_frames in
+      let can_still_allocate =
+        match Syscalls.vm_allocate task ~size:page ~anywhere:true () with
+        | _ -> true
+        | exception _ -> false
+      in
+      (offered, free_after, reserved, can_still_allocate))
+
+let run_body ~quick =
+  let timeout = if quick then 50_000.0 else 500_000.0 in
+  let abort_result, abort_us = run_unresponsive ~policy:(Fault.Abort_after timeout) in
+  let zf_result, zf_us = run_unresponsive ~policy:(Fault.Zero_fill_after timeout) in
+  let rescued, alive = if quick then (1, true) else run_hoarder () in
+  let offered, free_after, reserved, can_alloc = if quick then (0, 1, 1, true) else run_flooder () in
+  (timeout, abort_result, abort_us, zf_result, zf_us, rescued, alive, offered, free_after, reserved, can_alloc)
+
+let run () =
+  let ( timeout, abort_result, abort_us, zf_result, zf_us, rescued, alive, offered, free_after,
+        reserved, can_alloc ) =
+    run_body ~quick:false
+  in
+  let t =
+    Table.create ~title:"E9: data manager failure injection (Section 6)"
+      ~columns:[ "failure"; "defense"; "outcome"; "metric" ]
+  in
+  Table.row t
+    [
+      "manager never returns data";
+      Printf.sprintf "abort request after %.0f ms timeout" (timeout /. 1000.0);
+      (match abort_result with Error _ -> "fault aborted, error to thread" | Ok _ -> "UNEXPECTED");
+      Printf.sprintf "blocked %.0f ms" (abort_us /. 1000.0);
+    ];
+  Table.row t
+    [
+      "manager never returns data";
+      "substitute zero-filled memory after timeout";
+      (match zf_result with
+      | Ok b when Bytes.for_all (fun c -> c = '\000') b -> "zeroes delivered, thread continues"
+      | Ok _ -> "wrong data"
+      | Error _ -> "UNEXPECTED");
+      Printf.sprintf "blocked %.0f ms" (zf_us /. 1000.0);
+    ];
+  Table.row t
+    [
+      "manager fails to free flushed data";
+      "double paging to the default pager (s6.2.2)";
+      (if alive then "kernel kept allocating" else "KERNEL STARVED");
+      Printf.sprintf "%d frames rescued" rescued;
+    ];
+  Table.row t
+    [
+      "manager floods the cache";
+      "unsolicited data accepted only while frames are free";
+      (if can_alloc then "reserved pool intact, allocation works" else "ALLOCATION BLOCKED");
+      Printf.sprintf "offered %d pages; %d frames free after (reserve %d)" offered free_after
+        reserved;
+    ];
+  [ t ]
+
+let experiment =
+  {
+    id = "E9";
+    title = "Failure handling";
+    paper_claim =
+      "External data manager failures are analogous to communication failures; the same options \
+       apply (timeout, zero-fill, wait), and the default pager plus double paging protect the \
+       kernel from starvation by errant managers (Section 6).";
+    run;
+    quick = (fun () -> ignore (run_body ~quick:true));
+  }

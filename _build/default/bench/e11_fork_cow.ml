@@ -1,0 +1,90 @@
+(* E11 — §3.3: copy-on-write inheritance. Fork cost is (nearly)
+   independent of address-space size; the price is paid per page, only
+   for pages the child actually writes. Compared against what an eager
+   copying fork of the same space would cost. *)
+
+open Mach
+open Common
+
+let page = 4096
+
+let run_point sys task ~pages ~write_fraction =
+  let engine = sys.Kernel.engine in
+  let kernel = sys.Kernel.kernel in
+  let addr = Syscalls.vm_allocate task ~size:(pages * page) ~anywhere:true () in
+  ignore (ok_exn "init" (Syscalls.write_bytes task ~addr (Bytes.make (pages * page) 'p') ()));
+  let child = ref None in
+  let (), fork_us =
+    timed engine (fun () -> child := Some (Task.create kernel ~parent:task ~name:"forked" ()))
+  in
+  let child = Option.get !child in
+  let to_write = max 1 (int_of_float (float_of_int pages *. write_fraction)) in
+  let finished = Ivar.create () in
+  ignore
+    (Thread.spawn child ~name:"forked.main" (fun () ->
+         let (), write_us =
+           timed engine (fun () ->
+               for i = 0 to to_write - 1 do
+                 let p = i * pages / to_write in
+                 ignore
+                   (ok_exn "cw" (Syscalls.touch child ~addr:(addr + (p * page)) ~write:true ()))
+               done)
+         in
+         Ivar.fill finished write_us));
+  let write_us = Ivar.read finished in
+  let stats = Kernel.stats kernel in
+  let cow = stats.Vm_types.s_cow_faults in
+  Task.terminate child;
+  Syscalls.vm_deallocate task ~addr ~size:(pages * page);
+  (fork_us, write_us, cow)
+
+let run_body ~pages ~fractions =
+  run_system (fun sys task ->
+      let last_cow = ref 0 in
+      List.map
+        (fun frac ->
+          let fork_us, write_us, cow_total = run_point sys task ~pages ~write_fraction:frac in
+          let cow = cow_total - !last_cow in
+          last_cow := cow_total;
+          (frac, fork_us, write_us, cow))
+        fractions)
+
+let run () =
+  let pages = 256 in
+  let eager_estimate =
+    float_of_int pages *. Machine.uniprocessor.Machine.page_copy_us /. 1000.0
+  in
+  let rows = run_body ~pages ~fractions:[ 0.0; 0.1; 0.25; 0.5; 1.0 ] in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E11: fork of a %d-page (1 MB) space; an eager-copy fork would cost ~%.1f ms up front \
+            (Section 3.3)"
+           pages eager_estimate)
+      ~columns:
+        [ "child writes"; "fork us"; "child write-path ms"; "copy-on-write faults" ]
+  in
+  List.iter
+    (fun (frac, fork_us, write_us, cow) ->
+      Table.row t
+        [
+          Printf.sprintf "%.0f%%" (frac *. 100.0);
+          us fork_us;
+          Printf.sprintf "%.2f" (write_us /. 1000.0);
+          string_of_int cow;
+        ])
+    rows;
+  [ t ]
+
+let experiment =
+  {
+    id = "E11";
+    title = "Fork copy-on-write";
+    paper_claim =
+      "Copy-on-write sharing through inheritance makes virtual memory copying at task creation \
+       cheap: the fork itself costs microseconds regardless of size; pages are copied only when \
+       the child writes them (Section 3.3).";
+    run;
+    quick = (fun () -> ignore (run_body ~pages:16 ~fractions:[ 0.5 ]));
+  }

@@ -1,0 +1,208 @@
+(* E13 — the thesis itself (§7): "a programmer has the option of
+   choosing to use either shared memory or message-based communication
+   ... depending on the kind of multiprocessor or network available".
+
+   A producer/consumer exchanges items two ways on two machines:
+   - tightly coupled (UMA MultiMax, one host): messages move bytes by
+     copying; shared memory (inherited read/write region) moves them by
+     cache access — no per-item kernel overhead;
+   - loosely coupled (NORMA HyperCube, two hosts): messages ride the
+     network natively; "shared memory" is the §4.2 coherence protocol,
+     whose ownership ping-pong pays invalidation round trips per item. *)
+
+open Mach
+open Common
+module Netmem = Mach_pagers.Netmem
+
+let page = 4096
+
+(* --- one host: messages vs inherited shared memory ----------------------- *)
+
+let uma_messages ~items ~item_size =
+  let config = { Kernel.default_config with Kernel.params = Machine.multimax } in
+  run_system ~config (fun sys task ->
+      let consumer = Task.create sys.Kernel.kernel ~name:"consumer" () in
+      let svc = Syscalls.port_allocate consumer ~backlog:8 () in
+      let svc_port = Mach_ipc.Port_space.lookup_exn (Task.space consumer) svc in
+      let done_ = Ivar.create () in
+      ignore
+        (Thread.spawn consumer ~name:"consumer.main" (fun () ->
+             for _ = 1 to items do
+               ignore (Syscalls.msg_receive consumer ~from:(`Port svc) ())
+             done;
+             Ivar.fill done_ ()));
+      let (), elapsed =
+        timed sys.Kernel.engine (fun () ->
+            for _ = 1 to items do
+              ignore
+                (Syscalls.msg_send task
+                   (Message.make ~dest:svc_port [ Message.Data (Bytes.create item_size) ]))
+            done;
+            Ivar.read done_)
+      in
+      elapsed /. float_of_int items)
+
+let uma_shared ~items ~item_size =
+  let config = { Kernel.default_config with Kernel.params = Machine.multimax } in
+  run_system ~config (fun sys parent ->
+      (* A read/write-shared region between two children (§3.3
+         inheritance). *)
+      let buf = Syscalls.vm_allocate parent ~size:(2 * page + item_size) ~anywhere:true () in
+      ignore (ok_exn "seed" (Syscalls.write_bytes parent ~addr:buf (Bytes.make 1 '\000') ()));
+      Syscalls.vm_inherit parent ~addr:buf ~size:(2 * page + item_size) Vm_types.Inherit_share;
+      let producer = Task.create sys.Kernel.kernel ~parent ~name:"producer" () in
+      let consumer = Task.create sys.Kernel.kernel ~parent ~name:"consumer" () in
+      let full = Mach_sim.Semaphore.create 0 in
+      let empty = Mach_sim.Semaphore.create 1 in
+      let done_ = Ivar.create () in
+      ignore
+        (Thread.spawn consumer ~name:"consumer.main" (fun () ->
+             for _ = 1 to items do
+               Mach_sim.Semaphore.acquire full;
+               ignore (Syscalls.read_bytes consumer ~addr:buf ~len:item_size ());
+               Mach_sim.Semaphore.release empty
+             done;
+             Ivar.fill done_ ()));
+      let payload = Bytes.create item_size in
+      let fin = Ivar.create () in
+      ignore
+        (Thread.spawn producer ~name:"producer.main" (fun () ->
+             let (), elapsed =
+               timed sys.Kernel.engine (fun () ->
+                   for _ = 1 to items do
+                     Mach_sim.Semaphore.acquire empty;
+                     ignore (ok_exn "produce" (Syscalls.write_bytes producer ~addr:buf payload ()));
+                     Mach_sim.Semaphore.release full
+                   done;
+                   Ivar.read done_)
+             in
+             Ivar.fill fin (elapsed /. float_of_int items)));
+      Ivar.read fin)
+
+(* --- two hosts: messages vs coherent shared memory ----------------------- *)
+
+let norma_config =
+  { Kernel.default_config with Kernel.params = Machine.hypercube }
+
+let norma_messages ~items ~item_size =
+  let cluster = Kernel.create_cluster ~hosts:2 ~config:norma_config () in
+  let out = ref None in
+  Engine.spawn cluster.Kernel.c_engine ~name:"setup" (fun () ->
+      let producer = Task.create cluster.Kernel.c_kernels.(0) ~name:"producer" () in
+      let consumer = Task.create cluster.Kernel.c_kernels.(1) ~name:"consumer" () in
+      let svc = Syscalls.port_allocate consumer ~backlog:8 () in
+      let svc_port = Mach_ipc.Port_space.lookup_exn (Task.space consumer) svc in
+      let done_ = Ivar.create () in
+      ignore
+        (Thread.spawn consumer ~name:"consumer.main" (fun () ->
+             for _ = 1 to items do
+               ignore (Syscalls.msg_receive consumer ~from:(`Port svc) ())
+             done;
+             Ivar.fill done_ ()));
+      ignore
+        (Thread.spawn producer ~name:"producer.main" (fun () ->
+             let (), elapsed =
+               timed cluster.Kernel.c_engine (fun () ->
+                   for _ = 1 to items do
+                     ignore
+                       (Syscalls.msg_send producer
+                          (Message.make ~dest:svc_port [ Message.Data (Bytes.create item_size) ]))
+                   done;
+                   Ivar.read done_)
+             in
+             out := Some (elapsed /. float_of_int items))));
+  Engine.run cluster.Kernel.c_engine;
+  Option.get !out
+
+let norma_shared ~items ~item_size =
+  let cluster = Kernel.create_cluster ~hosts:2 ~config:norma_config () in
+  let out = ref None in
+  Engine.spawn cluster.Kernel.c_engine ~name:"setup" (fun () ->
+      let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+      let region = Netmem.create_region nm ~size:(item_size + page) in
+      let producer = Task.create cluster.Kernel.c_kernels.(0) ~name:"producer" () in
+      let consumer = Task.create cluster.Kernel.c_kernels.(1) ~name:"consumer" () in
+      let p_addr =
+        Syscalls.vm_allocate_with_pager producer ~size:(item_size + page) ~anywhere:true
+          ~memory_object:region ~offset:0 ()
+      in
+      let c_addr =
+        Syscalls.vm_allocate_with_pager consumer ~size:(item_size + page) ~anywhere:true
+          ~memory_object:region ~offset:0 ()
+      in
+      let full = Mach_sim.Semaphore.create 0 in
+      let empty = Mach_sim.Semaphore.create 1 in
+      let done_ = Ivar.create () in
+      let policy = Fault.Abort_after 60_000_000.0 in
+      ignore
+        (Thread.spawn consumer ~name:"consumer.main" (fun () ->
+             for _ = 1 to items do
+               Mach_sim.Semaphore.acquire full;
+               ignore (Syscalls.read_bytes consumer ~addr:c_addr ~len:item_size ~policy ());
+               Mach_sim.Semaphore.release empty
+             done;
+             Ivar.fill done_ ()));
+      let payload = Bytes.create item_size in
+      ignore
+        (Thread.spawn producer ~name:"producer.main" (fun () ->
+             let (), elapsed =
+               timed cluster.Kernel.c_engine (fun () ->
+                   for _ = 1 to items do
+                     Mach_sim.Semaphore.acquire empty;
+                     ignore (ok_exn "produce" (Syscalls.write_bytes producer ~addr:p_addr payload ~policy ()));
+                     Mach_sim.Semaphore.release full
+                   done;
+                   Ivar.read done_)
+             in
+             out := Some (elapsed /. float_of_int items))));
+  Engine.run cluster.Kernel.c_engine;
+  Option.get !out
+
+let sizes = [ 64; 1024; 4096; 16384 ]
+
+let run_body ~items ~sizes =
+  List.map
+    (fun s ->
+      ( s,
+        uma_messages ~items ~item_size:s,
+        uma_shared ~items ~item_size:s,
+        norma_messages ~items ~item_size:s,
+        norma_shared ~items ~item_size:s ))
+    sizes
+
+let run () =
+  let rows = run_body ~items:50 ~sizes in
+  let t =
+    Table.create
+      ~title:
+        "E13: producer/consumer, per-item cost — shared memory vs messages by machine class \
+         (Section 7)"
+      ~columns:
+        [ "item size"; "UMA messages us"; "UMA shared mem us"; "NORMA messages us";
+          "NORMA shared mem us" ]
+  in
+  List.iter
+    (fun (s, um, us_, nm, ns) ->
+      Table.row t
+        [
+          (if s >= 1024 then Printf.sprintf "%d KB" (s / 1024) else Printf.sprintf "%d B" s);
+          us0 um;
+          us0 us_;
+          us0 nm;
+          us0 ns;
+        ])
+    rows;
+  [ t ]
+
+let experiment =
+  {
+    id = "E13";
+    title = "Duality by machine class";
+    paper_claim =
+      "All three multiprocessor classes can support either mechanism, but which one is cheap \
+       depends on the machine: on a tightly-coupled UMA, shared memory avoids per-message \
+       kernel overhead; on a NORMA, messages are native and coherent shared memory pays \
+       ownership round trips per exchange (Section 7).";
+    run;
+    quick = (fun () -> ignore (run_body ~items:5 ~sizes:[ 1024 ]));
+  }

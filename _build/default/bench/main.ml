@@ -1,0 +1,111 @@
+(* Benchmark harness: reproduces every table/figure-level claim of the
+   paper's evaluation (E1–E11, see DESIGN.md), then runs a bechamel
+   microbench suite (one Test.make per experiment, measuring the
+   harness itself).
+
+   Usage:
+     main.exe                 run all experiments + microbenches
+     main.exe --only E4,E7    run selected experiments
+     main.exe --list          list experiments
+     main.exe --no-bechamel   skip the wall-clock microbenches *)
+
+module Table = Mach_util.Table
+
+let experiments : Common.experiment list =
+  [
+    E01_ipc.experiment;
+    E02_vm.experiment;
+    E03_copy_map.experiment;
+    E04_file_cache.experiment;
+    E05_multiprocessor.experiment;
+    E06_netmem.experiment;
+    E07_migration.experiment;
+    E08_camelot.experiment;
+    E09_failures.experiment;
+    E10_fault_breakdown.experiment;
+    E11_fork_cow.experiment;
+    E12_ablations.experiment;
+    E13_duality.experiment;
+  ]
+
+let run_experiment (e : Common.experiment) =
+  Printf.printf "\n### %s — %s\n" e.Common.id e.Common.title;
+  Printf.printf "Paper: %s\n\n" e.Common.paper_claim;
+  let t0 = Unix.gettimeofday () in
+  let tables = e.Common.run () in
+  List.iter Table.print tables;
+  Printf.printf "(experiment wall time: %.2fs)\n" (Unix.gettimeofday () -. t0)
+
+let run_bechamel selected =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let tests =
+    List.map
+      (fun (e : Common.experiment) ->
+        Test.make ~name:(e.Common.id ^ "-" ^ e.Common.title) (Staged.stage e.Common.quick))
+      selected
+  in
+  let test = Test.make_grouped ~name:"mach-repro" ~fmt:"%s %s" tests in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n### Bechamel microbenches (wall-clock per quick-experiment iteration)\n\n";
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, result) ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-44s %14.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
+    rows
+
+let main only list_only no_bechamel =
+  if list_only then begin
+    List.iter
+      (fun (e : Common.experiment) -> Printf.printf "%-4s %s\n" e.Common.id e.Common.title)
+      experiments;
+    0
+  end
+  else begin
+    let selected =
+      match only with
+      | [] -> experiments
+      | ids ->
+        let wanted = List.map String.uppercase_ascii ids in
+        List.filter (fun (e : Common.experiment) -> List.mem e.Common.id wanted) experiments
+    in
+    if selected = [] then begin
+      prerr_endline "no matching experiments (try --list)";
+      1
+    end
+    else begin
+      Printf.printf "Mach duality reproduction — experiment harness\n";
+      Printf.printf "==============================================\n";
+      List.iter run_experiment selected;
+      if not no_bechamel then run_bechamel selected;
+      0
+    end
+  end
+
+open Cmdliner
+
+let only =
+  let doc = "Comma-separated experiment ids to run (e.g. E4,E7)." in
+  Arg.(value & opt (list string) [] & info [ "only" ] ~doc ~docv:"IDS")
+
+let list_only =
+  let doc = "List experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let no_bechamel =
+  let doc = "Skip the bechamel wall-clock microbench suite." in
+  Arg.(value & flag & info [ "no-bechamel" ] ~doc)
+
+let cmd =
+  let doc = "Reproduce the evaluation of the Mach memory/communication duality paper" in
+  Cmd.v (Cmd.info "mach-bench" ~doc) Term.(const main $ only $ list_only $ no_bechamel)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/blackboard.ml: Array Bytes Engine Int64 Ivar Kernel List Mach Mach_pagers Mach_util Mailbox Message Port_space Printf Syscalls Task Thread

@@ -1,0 +1,1 @@
+examples/camelot_txn.ml: Access Disk Engine Format Int64 Kernel List Mach Mach_pagers Mach_util Printf Syscalls Task Thread

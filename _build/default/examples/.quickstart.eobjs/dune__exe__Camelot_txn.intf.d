@@ -1,0 +1,1 @@
+examples/camelot_txn.mli:

@@ -1,0 +1,1 @@
+examples/migration.ml: Access Array Bytes Engine Format Ivar Kernel List Mach Mach_pagers Printf Syscalls Task Thread

@@ -1,0 +1,1 @@
+examples/parallel_make.ml: Bytes Disk Engine Filename Kernel List Mach Mach_ipc Mach_pagers Mach_util Mach_workloads Machine Message Port_space Printf Syscalls Task Thread

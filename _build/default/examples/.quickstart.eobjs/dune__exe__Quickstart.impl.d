@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Disk Engine Format Kernel List Mach Mach_pagers Mach_util Printf String Syscalls Task Thread Vm_types

@@ -1,0 +1,1 @@
+examples/shared_memory.ml: Access Array Bytes Engine Format Kernel Mach Mach_pagers Printf Syscalls Task Thread

@@ -1,0 +1,1 @@
+examples/task_control.ml: Array Engine Format Kernel Mach Name_server Option Printf Task Task_server Thread

@@ -1,0 +1,1 @@
+examples/unix_emulation.ml: Bytes Disk Engine Kernel Mach Mach_pagers Mach_unixemu Printf Task Thread Vm_types

@@ -1,0 +1,131 @@
+(* §8.4: an Agora-style blackboard. Hypotheses are posted and scored by
+   cooperating agents. Agents on the blackboard's host modify it through
+   shared memory; loosely-coupled agents on other hosts interact by
+   message passing — both through one procedural interface, exactly the
+   mixed structure the speech system used.
+
+   Run with: dune exec examples/blackboard.exe *)
+
+open Mach
+module Netmem = Mach_pagers.Netmem
+module Codec = Mach_util.Codec
+
+let page = 4096
+let max_hyps = 32
+let slot_size = 64
+
+(* Blackboard layout in the shared region:
+   [0..7]   count of hypotheses
+   slots of 64 bytes: score (8 bytes) + text (56 bytes) *)
+module Board = struct
+  let count task base =
+    match Syscalls.read_bytes task ~addr:base ~len:8 () with
+    | Ok b -> Int64.to_int (Codec.Dec.i64 (Codec.Dec.of_bytes b))
+    | Error _ -> 0
+
+  let set_count task base n =
+    let e = Codec.Enc.create () in
+    Codec.Enc.i64 e (Int64.of_int n);
+    ignore (Syscalls.write_bytes task ~addr:base (Codec.Enc.to_bytes e) ())
+
+  let slot base i = base + 8 + (i * slot_size)
+
+  let post task base text =
+    let n = count task base in
+    if n < max_hyps then begin
+      let e = Codec.Enc.create () in
+      Codec.Enc.i64 e 0L;
+      Codec.Enc.string e text;
+      ignore (Syscalls.write_bytes task ~addr:(slot base n) (Codec.Enc.to_bytes e) ());
+      set_count task base (n + 1);
+      Some n
+    end
+    else None
+
+  let score task base i points =
+    match Syscalls.read_bytes task ~addr:(slot base i) ~len:8 () with
+    | Ok b ->
+      let cur = Codec.Dec.i64 (Codec.Dec.of_bytes b) in
+      let e = Codec.Enc.create () in
+      Codec.Enc.i64 e (Int64.add cur (Int64.of_int points));
+      ignore (Syscalls.write_bytes task ~addr:(slot base i) (Codec.Enc.to_bytes e) ())
+    | Error _ -> ()
+
+  let read_hyp task base i =
+    match Syscalls.read_bytes task ~addr:(slot base i) ~len:slot_size () with
+    | Ok b ->
+      let d = Codec.Dec.of_bytes b in
+      let score = Int64.to_int (Codec.Dec.i64 d) in
+      let text = Codec.Dec.string d in
+      Some (score, text)
+    | Error _ -> None
+end
+
+let () =
+  let cluster = Kernel.create_cluster ~hosts:2 () in
+  Engine.spawn cluster.Kernel.c_engine ~name:"setup" (fun () ->
+      (* The blackboard physically resides on host 0 (the paper's
+         multiprocessor host). *)
+      let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+      let region = Netmem.create_region nm ~size:page in
+      (* Tightly-coupled agents on host 0 share the blackboard memory
+         directly; a remote sensor on host 1 talks by message. *)
+      let poster = Task.create cluster.Kernel.c_kernels.(0) ~name:"hypothesizer" () in
+      let scorer = Task.create cluster.Kernel.c_kernels.(0) ~name:"scorer" () in
+      let sensor = Task.create cluster.Kernel.c_kernels.(1) ~name:"remote-sensor" () in
+      let inbox_name = Syscalls.port_allocate poster ~backlog:16 () in
+      let inbox = Port_space.lookup_exn (Task.space poster) inbox_name in
+      let posted = Mailbox.create () in
+      let done_scoring = Ivar.create () in
+      ignore
+        (Thread.spawn poster ~name:"hypothesizer.main" (fun () ->
+             let base =
+               Syscalls.vm_allocate_with_pager poster ~size:page ~anywhere:true
+                 ~memory_object:region ~offset:0 ()
+             in
+             (* Local hypotheses straight into shared memory. *)
+             List.iter
+               (fun h -> Mailbox.send posted (Board.post poster base h))
+               [ "the utterance starts with 'mach'"; "speaker is asking a question" ];
+             (* Remote observations arrive as messages and are posted
+                on the senders' behalf. *)
+             for _ = 1 to 2 do
+               match Syscalls.msg_receive poster ~from:(`Port inbox_name) () with
+               | Ok msg ->
+                 let text = Bytes.to_string (Message.data_exn msg) in
+                 Mailbox.send posted (Board.post poster base text)
+               | Error _ -> ()
+             done;
+             Ivar.read done_scoring;
+             let n = Board.count poster base in
+             Printf.printf "\nblackboard after all agents ran (%d hypotheses):\n" n;
+             for i = 0 to n - 1 do
+               match Board.read_hyp poster base i with
+               | Some (score, text) -> Printf.printf "  score %3d | %s\n" score text
+               | None -> ()
+             done));
+      ignore
+        (Thread.spawn sensor ~name:"remote-sensor.main" (fun () ->
+             (* Loosely-coupled component: signal processing results
+                cross the network as messages. *)
+             List.iter
+               (fun obs ->
+                 ignore
+                   (Syscalls.msg_send sensor
+                      (Message.make ~dest:inbox [ Message.Data (Bytes.of_string obs) ])))
+               [ "low-level: energy burst at 1.2s"; "low-level: formant matches vowel 'a'" ]));
+      ignore
+        (Thread.spawn scorer ~name:"scorer.main" (fun () ->
+             let base =
+               Syscalls.vm_allocate_with_pager scorer ~size:page ~anywhere:true
+                 ~memory_object:region ~offset:0 ()
+             in
+             (* Score each hypothesis as it appears, via shared memory. *)
+             for _ = 1 to 4 do
+               match Mailbox.recv posted with
+               | Some i -> Board.score scorer base i (10 + (i * 5))
+               | None -> ()
+             done;
+             Ivar.fill done_scoring ())));
+  Engine.run cluster.Kernel.c_engine;
+  print_endline "\nblackboard finished."

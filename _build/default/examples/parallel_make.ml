@@ -1,0 +1,137 @@
+(* A parallel make: the paper's motivating combination — many threads of
+   control (§3.1) on a shared-memory multiprocessor, coordinating by
+   messages (§3.2), with all file I/O through mapped memory objects
+   served by a user-level filesystem (§4.1, §9).
+
+   A coordinator task farms compilation jobs to N worker tasks over a
+   job port; each worker maps the source and headers from the fs server,
+   burns CPU proportional to the bytes consumed (contending for the
+   MultiMax's 16 processors), and stores the object file back.
+
+   The cold build is bound by the single disk arm no matter how many
+   workers run; once the kernel's page cache holds the tree (§9), the
+   warm build is compute-bound and scales with processors.
+
+   Run with: dune exec examples/parallel_make.exe *)
+
+open Mach
+module Minimal_fs = Mach_pagers.Minimal_fs
+module Compile_sim = Mach_workloads.Compile_sim
+module Rng = Mach_util.Rng
+
+let page = 4096
+
+let build_once ~workers =
+  let config =
+    { Kernel.default_config with Kernel.params = Machine.multimax; phys_frames = 2048 }
+  in
+  let sys = Kernel.create_system ~config () in
+  let disk = Disk.create sys.Kernel.engine ~name:"src-disk" ~blocks:4096 ~block_size:page () in
+  let results = ref [] in
+  Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
+      let fsrv = Minimal_fs.start sys.Kernel.kernel ~service_threads:4 ~disk ~format:true () in
+      let server = Minimal_fs.service_port fsrv in
+      let proj =
+        Compile_sim.generate (Rng.create 77) ~sources:32 ~source_bytes:(10 * 1024) ~headers:16
+          ~header_bytes:(12 * 1024) ~headers_per_source:6
+      in
+      let coordinator = Task.create sys.Kernel.kernel ~name:"make" () in
+      ignore
+        (Thread.spawn coordinator ~name:"make.main" (fun () ->
+             (* Populate the tree. *)
+             let setup_ops = Compile_sim.mach_ops coordinator ~server ~disk in
+             Compile_sim.populate setup_ops (Rng.create 7) proj;
+             Disk.reset_stats disk;
+             (* Job and completion ports. *)
+             let jobs_name = Syscalls.port_allocate coordinator ~backlog:64 () in
+             let jobs = Port_space.lookup_exn (Task.space coordinator) jobs_name in
+             let done_name = Syscalls.port_allocate coordinator ~backlog:64 () in
+             let done_port = Port_space.lookup_exn (Task.space coordinator) done_name in
+             (* Workers. *)
+             for w = 0 to workers - 1 do
+               let wt = Task.create sys.Kernel.kernel ~name:(Printf.sprintf "cc-%d" w) () in
+               let wjobs = Syscalls.port_insert wt jobs Message.Send_right in
+               ignore wjobs;
+               ignore
+                 (Thread.spawn wt ~name:(Printf.sprintf "cc-%d.main" w) (fun () ->
+                      let jobs_local = Syscalls.port_insert wt jobs Message.Receive_right in
+                      ignore jobs_local;
+                      let ops = Compile_sim.mach_ops wt ~server ~disk in
+                      let continue_working = ref true in
+                      while !continue_working do
+                        (* All workers receive from the one job port:
+                           a single-queue work pool. *)
+                        match
+                          Mach_ipc.Transport.receive (Task.node wt) (Task.space coordinator)
+                            ~from:(`Port jobs_name) ~timeout:1_000_000.0 ()
+                        with
+                        | Ok msg -> (
+                          let payload = Bytes.to_string (Message.data_exn msg) in
+                          if payload = "stop" then continue_working := false
+                          else begin
+                            let idx = int_of_string payload in
+                            let src, _ = List.nth proj.Compile_sim.sources idx in
+                            let consumed = ref 0 in
+                            consumed := !consumed + ops.Compile_sim.read_file src;
+                            List.iter
+                              (fun (h, _) -> consumed := !consumed + ops.Compile_sim.read_file h)
+                              (List.filteri (fun k _ -> k < proj.Compile_sim.headers_per_source)
+                                 proj.Compile_sim.headers);
+                            ops.Compile_sim.compute (float_of_int !consumed *. 2.0);
+                            ops.Compile_sim.write_file
+                              (Filename.remove_extension src ^ ".o")
+                              (Bytes.make (max 512 (!consumed / 10)) 'O');
+                            match
+                              Syscalls.msg_send wt
+                                (Message.make ~dest:done_port [ Message.Data (Bytes.of_string src) ])
+                            with
+                            | Ok () -> ()
+                            | Error _ -> continue_working := false
+                          end)
+                        | Error _ -> continue_working := false
+                      done))
+             done;
+             (* Two builds: cold (disk-bound) then warm (cache-bound). *)
+             for _build = 1 to 2 do
+               let t0 = Engine.now sys.Kernel.engine in
+               let ops0 = Disk.ops disk in
+               List.iteri
+                 (fun i _ ->
+                   ignore
+                     (Syscalls.msg_send coordinator
+                        (Message.make ~dest:jobs [ Message.Data (Bytes.of_string (string_of_int i)) ])))
+                 proj.Compile_sim.sources;
+               for _ = 1 to List.length proj.Compile_sim.sources do
+                 ignore (Syscalls.msg_receive coordinator ~from:(`Port done_name) ())
+               done;
+               results :=
+                 (Engine.now sys.Kernel.engine -. t0, Disk.ops disk - ops0) :: !results
+             done;
+             (* Dismiss the workers. *)
+             for _ = 1 to workers do
+               ignore
+                 (Syscalls.msg_send coordinator
+                    (Message.make ~dest:jobs [ Message.Data (Bytes.of_string "stop") ]))
+             done)));
+  Engine.run sys.Kernel.engine;
+  match List.rev !results with
+  | [ cold; warm ] -> (cold, warm)
+  | _ -> failwith "expected two builds"
+
+let () =
+  Printf.printf "parallel make of 32 units on a 16-CPU MultiMax, files via the fs server\n\n";
+  Printf.printf "%8s | %12s %10s | %12s %10s %9s\n" "workers" "cold build s" "disk ops"
+    "warm build s" "disk ops" "speedup";
+  let warm_base = ref 0.0 in
+  List.iter
+    (fun workers ->
+      let (cold_s, cold_ops), (warm_s, warm_ops) = build_once ~workers in
+      if workers = 1 then warm_base := warm_s;
+      Printf.printf "%8d | %12.2f %10d | %12.2f %10d %8.2fx\n" workers (cold_s /. 1e6) cold_ops
+        (warm_s /. 1e6) warm_ops (!warm_base /. warm_s))
+    [ 1; 2; 4; 8; 16 ];
+  Printf.printf
+    "\ncold builds sit on the one disk arm regardless of workers; warm builds read entirely\n\
+     from the kernel's page cache (s9) and scale with processors until the object-file\n\
+     writes serialise on that same disk arm.\n";
+  print_endline "\nparallel_make finished."

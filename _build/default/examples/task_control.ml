@@ -1,0 +1,73 @@
+(* §3.2: "operations on Mach objects are invoked through message
+   passing… a thread can suspend another thread by sending a suspend
+   message to the port representing that other thread even if the
+   request is initiated on another node in a network."
+
+   A worker runs on host 0; a controller on host 1 finds the worker's
+   task port through the name server and drives it — info, suspend,
+   resume, remote allocation, terminate — entirely by messages.
+
+   Run with: dune exec examples/task_control.exe *)
+
+open Mach
+
+let show cluster fmt =
+  Printf.ksprintf
+    (fun s -> Printf.printf "[%8.3f ms] %s\n" (Engine.now cluster.Kernel.c_engine /. 1e3) s)
+    fmt
+
+let () =
+  let cluster = Kernel.create_cluster ~hosts:2 () in
+  Engine.spawn cluster.Kernel.c_engine ~name:"setup" (fun () ->
+      let ns = Name_server.start cluster.Kernel.c_kernels.(0) () in
+      let ns_port = Name_server.service_port ns in
+      (* The worker: an endless job on host 0, checked in by name. *)
+      let worker = Task.create cluster.Kernel.c_kernels.(0) ~name:"number-cruncher" () in
+      let steps = ref 0 in
+      let th = ref None in
+      th :=
+        Some
+          (Thread.spawn worker ~name:"number-cruncher.loop" (fun () ->
+               let continue_crunching = ref true in
+               while !continue_crunching do
+                 Thread.checkpoint (Option.get !th);
+                 incr steps;
+                 Engine.sleep 250.0;
+                 if not (Task.alive worker) then continue_crunching := false
+               done));
+      ignore
+        (Name_server.Client.check_in worker ~server:ns_port "number-cruncher"
+           (Task_server.task_port worker));
+      (* The controller on the other host. *)
+      let controller = Task.create cluster.Kernel.c_kernels.(1) ~name:"controller" () in
+      ignore
+        (Thread.spawn controller ~name:"controller.main" (fun () ->
+             Engine.sleep 5_000.0;
+             let target =
+               match Name_server.Client.look_up controller ~server:ns_port "number-cruncher" with
+               | Ok p -> p
+               | Error e -> failwith (Format.asprintf "lookup: %a" Name_server.Client.pp_error e)
+             in
+             show cluster "controller (host 1) found the worker's task port by name";
+             (match Task_server.Client.info controller ~target with
+             | Ok i ->
+               show cluster "task_info: name=%S threads=%d mapped=%d bytes"
+                 i.Task_server.Client.ti_name i.Task_server.Client.ti_threads
+                 i.Task_server.Client.ti_mapped_bytes
+             | Error e -> failwith (Format.asprintf "info: %a" Task_server.Client.pp_error e));
+             show cluster "worker has crunched %d steps; suspending it across the network" !steps;
+             ignore (Task_server.Client.suspend controller ~target);
+             Engine.sleep 1_000.0;
+             let frozen = !steps in
+             Engine.sleep 10_000.0;
+             show cluster "10 ms later: still %d steps (frozen at %d) — suspended" !steps frozen;
+             ignore (Task_server.Client.resume controller ~target);
+             Engine.sleep 10_000.0;
+             show cluster "after resume: %d steps — running again" !steps;
+             (match Task_server.Client.vm_allocate controller ~target ~size:65536 with
+             | Ok addr -> show cluster "allocated 64 KB in the worker's space at %#x, by message" addr
+             | Error e -> failwith (Format.asprintf "remote alloc: %a" Task_server.Client.pp_error e));
+             ignore (Task_server.Client.terminate controller ~target);
+             show cluster "terminated the worker remotely; task alive = %b" (Task.alive worker))));
+  Engine.run ~until:10_000_000.0 cluster.Kernel.c_engine;
+  print_endline "\ntask_control finished."

@@ -1,0 +1,1 @@
+lib/baseline/buffer_cache.ml: Bytes Hashtbl Mach_hw Mach_util

@@ -1,0 +1,1 @@
+lib/baseline/buffer_cache.mli: Mach_hw

@@ -1,0 +1,1 @@
+lib/baseline/unix_fs.ml: Buffer_cache Bytes Mach_fs Mach_hw Mach_sim

@@ -1,0 +1,1 @@
+lib/baseline/unix_fs.mli: Buffer_cache Mach_fs Mach_hw

@@ -1,0 +1,1 @@
+lib/core/mach.ml: Mach_hw Mach_ipc Mach_kernel Mach_sim Mach_vm Memory_object_server

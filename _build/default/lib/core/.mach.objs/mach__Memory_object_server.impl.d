@@ -1,0 +1,1 @@
+lib/core/memory_object_server.ml: Mach_hw Mach_ipc Mach_kernel Mach_sim Mach_vm Printf

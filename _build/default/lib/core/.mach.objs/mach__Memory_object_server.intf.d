@@ -1,0 +1,1 @@
+lib/core/memory_object_server.mli: Mach_hw Mach_ipc Mach_kernel

@@ -1,0 +1,151 @@
+open Mach_kernel.Ktypes
+module Message = Mach_ipc.Message
+module Port_space = Mach_ipc.Port_space
+module Prot = Mach_hw.Prot
+module Engine = Mach_sim.Engine
+module Syscalls = Mach_kernel.Syscalls
+module Pager_iface = Mach_vm.Pager_iface
+
+type t = {
+  srv_task : task;
+  mutable running : bool;
+}
+
+type callbacks = {
+  on_init : t -> memory_object:Message.port -> request:Message.port -> name:Message.port -> unit;
+  on_data_request :
+    t ->
+    memory_object:Message.port ->
+    request:Message.port ->
+    offset:int ->
+    length:int ->
+    desired_access:Prot.t ->
+    unit;
+  on_data_write :
+    t -> memory_object:Message.port -> offset:int -> data:bytes -> release:(unit -> unit) -> unit;
+  on_data_unlock :
+    t ->
+    memory_object:Message.port ->
+    request:Message.port ->
+    offset:int ->
+    length:int ->
+    desired_access:Prot.t ->
+    unit;
+  on_create :
+    t -> memory_object:Message.port -> request:Message.port -> name:Message.port -> size:int -> unit;
+  on_port_death : t -> Message.port -> unit;
+  on_lock_completed :
+    t -> memory_object:Message.port -> request:Message.port option -> offset:int -> length:int -> unit;
+  on_other : t -> Message.t -> unit;
+}
+
+let task t = t.srv_task
+
+let send t msg =
+  match Syscalls.msg_send t.srv_task msg with
+  | Ok () -> ()
+  | Error _ -> () (* the kernel's ports do not die while objects live *)
+
+let m2k t call ~request = send t (Pager_iface.encode_m2k call ~request)
+
+let data_provided t ~request ~offset ~data ~lock_value =
+  m2k t (Pager_iface.Data_provided { offset; data; lock_value }) ~request
+
+let data_lock t ~request ~offset ~length ~lock_value =
+  m2k t (Pager_iface.Data_lock { offset; length; lock_value }) ~request
+
+let flush_request t ~request ~offset ~length =
+  m2k t (Pager_iface.Flush_request { offset; length }) ~request
+
+let clean_request t ~request ~offset ~length =
+  m2k t (Pager_iface.Clean_request { offset; length }) ~request
+
+let cache t ~request ~may_cache = m2k t (Pager_iface.Cache { may_cache }) ~request
+
+let data_unavailable t ~request ~offset ~size =
+  m2k t (Pager_iface.Data_unavailable { offset; size }) ~request
+
+let no_callbacks =
+  {
+    on_init = (fun _ ~memory_object:_ ~request:_ ~name:_ -> ());
+    on_data_request = (fun _ ~memory_object:_ ~request:_ ~offset:_ ~length:_ ~desired_access:_ -> ());
+    on_data_write = (fun _ ~memory_object:_ ~offset:_ ~data:_ ~release -> release ());
+    on_data_unlock = (fun _ ~memory_object:_ ~request:_ ~offset:_ ~length:_ ~desired_access:_ -> ());
+    on_create = (fun _ ~memory_object:_ ~request:_ ~name:_ ~size:_ -> ());
+    on_port_death = (fun _ _ -> ());
+    on_lock_completed = (fun _ ~memory_object:_ ~request:_ ~offset:_ ~length:_ -> ());
+    on_other = (fun _ _ -> ());
+  }
+
+let dispatch t cb (msg : Message.t) =
+  if not (Pager_iface.is_pager_msg msg) then cb.on_other t msg
+  else
+    match Pager_iface.decode_k2m msg with
+    | exception Pager_iface.Malformed _ -> ()
+  | Pager_iface.Init { memory_object; request; name } ->
+    cb.on_init t ~memory_object ~request ~name
+  | Pager_iface.Data_request { memory_object; request; offset; length; desired_access } ->
+    cb.on_data_request t ~memory_object ~request ~offset ~length ~desired_access
+  | Pager_iface.Data_write { memory_object; offset; data; write_id } ->
+    (* The kernel passes its request port as the reply port so the
+       manager's release (modelling its vm_deallocate of the
+       transferred region, §6.2.2) can be routed back. *)
+    let release =
+      match msg.Message.header.reply with
+      | Some request ->
+        let released = ref false in
+        fun () ->
+          if not !released then begin
+            released := true;
+            m2k t (Pager_iface.Release_write { write_id }) ~request
+          end
+      | None -> fun () -> ()
+    in
+    cb.on_data_write t ~memory_object ~offset ~data ~release
+  | Pager_iface.Data_unlock { memory_object; request; offset; length; desired_access } ->
+    cb.on_data_unlock t ~memory_object ~request ~offset ~length ~desired_access
+  | Pager_iface.Create { new_memory_object; request; name; size } ->
+    (* Accept the receive right and start serving the object. *)
+    let n = Port_space.insert t.srv_task.t_space new_memory_object Message.Receive_right in
+    Port_space.enable t.srv_task.t_space n;
+    cb.on_create t ~memory_object:new_memory_object ~request ~name ~size
+  | Pager_iface.Lock_completed { memory_object; offset; length } ->
+    cb.on_lock_completed t ~memory_object ~request:msg.Message.header.reply ~offset ~length
+
+let start ?(service_threads = 1) srv_task cb =
+  let t = { srv_task; running = true } in
+  for i = 1 to service_threads do
+    Engine.spawn srv_task.t_kernel.k_engine
+      ~name:(Printf.sprintf "%s.pager-service-%d" srv_task.t_name i)
+      (fun () ->
+        let rec loop () =
+          if t.running then begin
+            (match Syscalls.msg_receive srv_task ~from:`Any () with
+            | Ok msg -> dispatch t cb msg
+            | Error _ -> ());
+            loop ()
+          end
+        in
+        loop ())
+  done;
+  Engine.spawn srv_task.t_kernel.k_engine ~name:(srv_task.t_name ^ ".notify") (fun () ->
+      let rec loop () =
+        if t.running then begin
+          (match Port_space.next_notification srv_task.t_space () with
+          | Some (Port_space.Port_deleted name) -> (
+            match Port_space.port_of_name srv_task.t_space name with
+            | Some port -> cb.on_port_death t port
+            | None -> ())
+          | None -> ());
+          loop ()
+        end
+      in
+      loop ());
+  t
+
+let create_memory_object t ?backlog () =
+  let name = Syscalls.port_allocate t.srv_task ?backlog () in
+  Syscalls.port_enable t.srv_task name;
+  Port_space.lookup_exn t.srv_task.t_space name
+
+let stop t = t.running <- false

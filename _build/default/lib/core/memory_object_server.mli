@@ -1,0 +1,84 @@
+(** Skeleton for writing user-level data managers.
+
+    A data manager implements a memory object by receiving the kernel's
+    Table 3-5 calls and replying with the Table 3-6 calls. This module
+    is the receive/dispatch loop every pager in §4 and §8 shares: plug
+    in callbacks, then create memory objects with {!create_memory_object}
+    and hand them to clients. Callbacks run on the manager task's
+    service thread and may block (e.g. on disk I/O); use multiple
+    manager tasks or threads for deadlock-sensitive services (§6.1). *)
+
+open Mach_kernel.Ktypes
+
+module Message = Mach_ipc.Message
+module Prot = Mach_hw.Prot
+
+type t
+
+type callbacks = {
+  on_init : t -> memory_object:Message.port -> request:Message.port -> name:Message.port -> unit;
+  on_data_request :
+    t ->
+    memory_object:Message.port ->
+    request:Message.port ->
+    offset:int ->
+    length:int ->
+    desired_access:Prot.t ->
+    unit;
+  on_data_write :
+    t -> memory_object:Message.port -> offset:int -> data:bytes -> release:(unit -> unit) -> unit;
+      (** Call [release] once the data is safe (written to backing
+          store); forgetting to is the §6 "fails to free flushed data"
+          failure, which the kernel survives by double paging. *)
+  on_data_unlock :
+    t ->
+    memory_object:Message.port ->
+    request:Message.port ->
+    offset:int ->
+    length:int ->
+    desired_access:Prot.t ->
+    unit;
+  on_create :
+    t -> memory_object:Message.port -> request:Message.port -> name:Message.port -> size:int -> unit;
+  on_port_death : t -> Message.port -> unit;
+      (** The kernel deallocated its rights (object terminated): release
+          resources for that request/name port (§4.1 [port_death]). *)
+  on_lock_completed :
+    t -> memory_object:Message.port -> request:Message.port option -> offset:int -> length:int -> unit;
+      (** A flush/clean the manager requested has been carried out by
+          the kernel identified by [request]. *)
+  on_other : t -> Message.t -> unit;
+      (** Non-pager-protocol traffic (the manager's own RPC service),
+          e.g. [fs_read_file] requests arriving at a filesystem
+          server. *)
+}
+
+val no_callbacks : callbacks
+(** Every handler a no-op, except [on_data_write] which releases
+    immediately. Build real managers with [{ no_callbacks with ... }]. *)
+
+val start : ?service_threads:int -> task -> callbacks -> t
+(** Spawn [service_threads] service threads (default 1) receiving
+    kernel calls on every enabled port of the task, plus the
+    notification thread (port deaths). Multiple threads are the §6.1
+    advice: they let one thread serve a data request while another is
+    blocked, and remove the server as a serial bottleneck. *)
+
+val task : t -> task
+
+val create_memory_object : t -> ?backlog:int -> unit -> Message.port
+(** Allocate and enable a port to serve as a new memory object. *)
+
+val stop : t -> unit
+(** Ask the service loops to exit at the next message. *)
+
+(** {2 Table 3-6 calls (manager → kernel)} *)
+
+val data_provided :
+  t -> request:Message.port -> offset:int -> data:bytes -> lock_value:Prot.t -> unit
+
+val data_lock : t -> request:Message.port -> offset:int -> length:int -> lock_value:Prot.t -> unit
+val flush_request : t -> request:Message.port -> offset:int -> length:int -> unit
+val clean_request : t -> request:Message.port -> offset:int -> length:int -> unit
+val cache : t -> request:Message.port -> may_cache:bool -> unit
+val data_unavailable : t -> request:Message.port -> offset:int -> size:int -> unit

@@ -1,0 +1,1 @@
+lib/fs/fs_layout.ml: Array Bytes Hashtbl List Mach_hw Mach_util String

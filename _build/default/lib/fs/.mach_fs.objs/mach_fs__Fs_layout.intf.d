@@ -1,0 +1,1 @@
+lib/fs/fs_layout.mli: Mach_hw

@@ -1,0 +1,1 @@
+lib/hw/disk.ml: Array Bytes Mach_sim Printf

@@ -1,0 +1,1 @@
+lib/hw/disk.mli: Mach_sim

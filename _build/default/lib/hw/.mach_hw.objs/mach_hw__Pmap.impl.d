@@ -1,0 +1,1 @@
+lib/hw/pmap.ml: Hashtbl List Phys_mem Prot

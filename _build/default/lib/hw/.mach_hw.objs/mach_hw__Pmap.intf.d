@@ -1,0 +1,1 @@
+lib/hw/pmap.mli: Phys_mem Prot

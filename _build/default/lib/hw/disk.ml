@@ -1,0 +1,93 @@
+module Engine = Mach_sim.Engine
+module Semaphore = Mach_sim.Semaphore
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  block_size : int;
+  store : bytes array;
+  seek_us : float;
+  transfer_us_per_byte : float;
+  arm : Semaphore.t; (* one transfer at a time; queued requests wait *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create engine ~name ~blocks ~block_size ?(seek_us = 20_000.0) ?(transfer_us_per_byte = 1.0) () =
+  if blocks <= 0 || block_size <= 0 then invalid_arg "Disk.create: bad geometry";
+  {
+    engine;
+    name;
+    block_size;
+    store = Array.init blocks (fun _ -> Bytes.make block_size '\000');
+    seek_us;
+    transfer_us_per_byte;
+    arm = Semaphore.create 1;
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+
+let name t = t.name
+let blocks t = Array.length t.store
+let block_size t = t.block_size
+
+let reattach t engine =
+  {
+    t with
+    engine;
+    arm = Semaphore.create 1;
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+
+let check t block =
+  if block < 0 || block >= Array.length t.store then
+    invalid_arg (Printf.sprintf "Disk %s: block %d out of range" t.name block)
+
+let transfer t nbytes =
+  Semaphore.with_permit t.arm (fun () ->
+      Engine.sleep (t.seek_us +. (float_of_int nbytes *. t.transfer_us_per_byte)))
+
+let read t ~block =
+  check t block;
+  transfer t t.block_size;
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + t.block_size;
+  Bytes.copy t.store.(block)
+
+let write t ~block data =
+  check t block;
+  let len = Bytes.length data in
+  if len > t.block_size then invalid_arg "Disk.write: data larger than a block";
+  transfer t len;
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + len;
+  Bytes.blit data 0 t.store.(block) 0 len
+
+let read_raw t ~block =
+  check t block;
+  Bytes.copy t.store.(block)
+
+let write_raw t ~block data =
+  check t block;
+  let len = Bytes.length data in
+  if len > t.block_size then invalid_arg "Disk.write_raw: data larger than a block";
+  Bytes.blit data 0 t.store.(block) 0 len
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let ops t = t.reads + t.writes
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0

@@ -1,0 +1,50 @@
+(** Simulated block storage device.
+
+    A single request stream with a seek + per-byte transfer latency
+    model; concurrent requests queue (FIFO). Operation and byte counters
+    feed the §9 "number of I/O operations" measurements. *)
+
+type t
+
+val create :
+  Mach_sim.Engine.t ->
+  name:string ->
+  blocks:int ->
+  block_size:int ->
+  ?seek_us:float ->
+  ?transfer_us_per_byte:float ->
+  unit ->
+  t
+(** 1987-class defaults: 20 ms average seek, 1 µs/byte transfer
+    (≈ 1 MB/s). *)
+
+val name : t -> string
+val blocks : t -> int
+val block_size : t -> int
+
+val reattach : t -> Mach_sim.Engine.t -> t
+(** A view of the same platters on a new simulation engine — the
+    crash-recovery story: the machine reboots, the disk contents
+    persist. Stats start fresh; both views share the stored bytes. *)
+
+val read : t -> block:int -> bytes
+(** Blocking; charges simulated seek + transfer time. *)
+
+val write : t -> block:int -> bytes -> unit
+(** Blocking; data must be at most one block, shorter writes leave the
+    block's tail unchanged. *)
+
+val read_raw : t -> block:int -> bytes
+(** Instantaneous, no time charge and no counter update — for crash
+    recovery inspection in tests. *)
+
+val write_raw : t -> block:int -> bytes -> unit
+
+(** {2 Statistics} *)
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+val ops : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,68 @@
+module Engine = Mach_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  latency_us : float;
+  us_per_byte : float;
+  mutable messages : int;
+  mutable bytes : int;
+  channels : (int * int, float ref) Hashtbl.t;
+      (* per-(src,dst) link serialization: transmissions queue FIFO, so a
+         small message cannot overtake a large one sent earlier (the
+         netmsg server serializes per connection) *)
+}
+
+let create engine ?(latency_us = 300.0) ?(us_per_byte = 0.8) () =
+  { engine; latency_us; us_per_byte; messages = 0; bytes = 0; channels = Hashtbl.create 16 }
+
+let channel t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some r -> r
+  | None ->
+    let r = ref 0.0 in
+    Hashtbl.replace t.channels (src, dst) r;
+    r
+
+(* Absolute arrival time for a message sent now: transmission occupies
+   the channel serially, propagation latency pipelines. *)
+let arrival_time t ~src ~dst ~bytes =
+  let now = Engine.now t.engine in
+  if src = dst then now
+  else begin
+    let busy = channel t ~src ~dst in
+    let xmit_done = Float.max now !busy +. (float_of_int bytes *. t.us_per_byte) in
+    busy := xmit_done;
+    xmit_done +. t.latency_us
+  end
+
+let latency_us t = t.latency_us
+let us_per_byte t = t.us_per_byte
+
+let transit_us t ~src ~dst ~bytes =
+  if src = dst then 0.0 else t.latency_us +. (float_of_int bytes *. t.us_per_byte)
+
+let count t ~src ~dst ~bytes =
+  if src <> dst then begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes
+  end
+
+let deliver t ~src ~dst ~bytes callback =
+  count t ~src ~dst ~bytes;
+  if src = dst then callback ()
+  else Engine.schedule t.engine ~at:(arrival_time t ~src ~dst ~bytes) callback
+
+let transit t ~src ~dst ~bytes =
+  count t ~src ~dst ~bytes;
+  if src <> dst then begin
+    let at = arrival_time t ~src ~dst ~bytes in
+    let delay = at -. Engine.now t.engine in
+    if delay > 0.0 then Engine.sleep delay
+  end
+
+let messages t = t.messages
+let bytes_carried t = t.bytes
+
+let reset_stats t =
+  t.messages <- 0;
+  t.bytes <- 0

@@ -1,0 +1,30 @@
+(** Inter-host network fabric.
+
+    Models the NORMA interconnect: point-to-point delivery with a fixed
+    one-way latency plus a per-byte transfer cost. Intra-host "delivery"
+    (src = dst) is free — the duality means local transfers go through
+    memory instead. *)
+
+type t
+
+val create : Mach_sim.Engine.t -> ?latency_us:float -> ?us_per_byte:float -> unit -> t
+
+val latency_us : t -> float
+val us_per_byte : t -> float
+
+val transit_us : t -> src:int -> dst:int -> bytes:int -> float
+(** The simulated transit time for a payload of [bytes] between the two
+    hosts; 0 when [src = dst]. *)
+
+val deliver : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+(** Schedule [callback] after the transit time; the caller does not
+    block (the wire is asynchronous). The callback must not block. *)
+
+val transit : t -> src:int -> dst:int -> bytes:int -> unit
+(** Blocking form: the calling thread sleeps for the transit time. *)
+
+(** {2 Statistics} *)
+
+val messages : t -> int
+val bytes_carried : t -> int
+val reset_stats : t -> unit

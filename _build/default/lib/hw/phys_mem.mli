@@ -1,0 +1,42 @@
+(** Simulated physical memory: an array of page frames.
+
+    Each frame carries the hardware reference and modify bits that the
+    paper's resident-page structures collect from the machine-dependent
+    layer (§5.3). The VM system treats frame numbers as opaque. *)
+
+type t
+type frame = int
+
+val create : frames:int -> page_size:int -> t
+(** All frames start free and zero-filled. [page_size] must be a power
+    of two. *)
+
+val page_size : t -> int
+val total_frames : t -> int
+val free_frames : t -> int
+
+val alloc : t -> frame option
+(** Take a free frame (zeroed), or [None] when physical memory is
+    exhausted. *)
+
+val free : t -> frame -> unit
+(** Return a frame; it is zeroed and its ref/mod bits cleared. Raises
+    [Invalid_argument] if the frame is already free. *)
+
+val data : t -> frame -> bytes
+(** The frame's backing store, length [page_size]. Mutating it mutates
+    the frame (this is how the simulation moves page contents). *)
+
+val read : t -> frame -> off:int -> len:int -> bytes
+val write : t -> frame -> off:int -> bytes -> unit
+val fill : t -> frame -> char -> unit
+
+val copy : t -> src:frame -> dst:frame -> unit
+(** Copy a whole frame (used by copy-on-write resolution). *)
+
+(** {2 Reference / modify bits (set by {!Pmap.access})} *)
+
+val referenced : t -> frame -> bool
+val modified : t -> frame -> bool
+val set_referenced : t -> frame -> bool -> unit
+val set_modified : t -> frame -> bool -> unit

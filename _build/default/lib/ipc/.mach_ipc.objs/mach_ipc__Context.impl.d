@@ -1,0 +1,1 @@
+lib/ipc/context.ml: Mach_hw Mach_sim

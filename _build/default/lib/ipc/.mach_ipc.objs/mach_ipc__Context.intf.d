@@ -1,0 +1,1 @@
+lib/ipc/context.mli: Mach_hw Mach_sim

@@ -1,0 +1,1 @@
+lib/ipc/message.ml: Bytes Format List Port

@@ -1,0 +1,1 @@
+lib/ipc/message.mli: Format Port

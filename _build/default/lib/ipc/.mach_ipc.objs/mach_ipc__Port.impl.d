@@ -1,0 +1,1 @@
+lib/ipc/port.ml: Context Format Int List Mach_sim

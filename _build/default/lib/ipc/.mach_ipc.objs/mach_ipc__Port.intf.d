@@ -1,0 +1,1 @@
+lib/ipc/port.mli: Context Format Mach_sim

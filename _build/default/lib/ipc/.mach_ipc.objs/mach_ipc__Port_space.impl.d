@@ -1,0 +1,1 @@
+lib/ipc/port_space.ml: Context Hashtbl List Mach_sim Message Port

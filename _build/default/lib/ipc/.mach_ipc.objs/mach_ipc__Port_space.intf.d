@@ -1,0 +1,1 @@
+lib/ipc/port_space.mli: Context Mach_sim Message

@@ -1,0 +1,1 @@
+lib/ipc/transport.ml: Context List Mach_hw Mach_sim Message Option Port Port_space

@@ -1,0 +1,1 @@
+lib/ipc/transport.mli: Mach_hw Message Port_space

@@ -1,0 +1,10 @@
+type t = { engine : Mach_sim.Engine.t; net : Mach_hw.Net.t; mutable next_id : int }
+
+let create engine net = { engine; net; next_id = 1 }
+let engine t = t.engine
+let net t = t.net
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id

@@ -1,0 +1,11 @@
+(** Shared state of one simulated IPC universe: the event engine, the
+    inter-host network, and the id allocator. Every port and port space
+    belongs to exactly one context, so runs are deterministic and two
+    simulations never interfere. *)
+
+type t
+
+val create : Mach_sim.Engine.t -> Mach_hw.Net.t -> t
+val engine : t -> Mach_sim.Engine.t
+val net : t -> Mach_hw.Net.t
+val fresh_id : t -> int

@@ -1,0 +1,53 @@
+type t = { header : header; body : item list }
+and header = { dest : port; reply : port option; msg_id : int }
+and item = Data of bytes | Caps of cap list | Ool of ool | Ool_region of ool_region
+and ool_region = { src_task : int; src_addr : int; region_size : int }
+and cap = { cap_port : port; cap_right : right }
+and right = Send_right | Receive_right
+and ool = { ool_data : bytes; transfer : transfer_mode }
+and transfer_mode = Copy_transfer | Map_transfer
+and port = t Port.t
+
+let make ?reply ?(msg_id = 0) ~dest body = { header = { dest; reply; msg_id }; body }
+
+let inline_bytes t =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Data b -> acc + Bytes.length b
+      | Ool { ool_data; transfer = Copy_transfer } -> acc + Bytes.length ool_data
+      | Ool { transfer = Map_transfer; _ } | Caps _ | Ool_region _ -> acc)
+    0 t.body
+
+let mapped_bytes t =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Ool { ool_data; transfer = Map_transfer } -> acc + Bytes.length ool_data
+      | Ool_region r -> acc + r.region_size
+      | Ool { transfer = Copy_transfer; _ } | Data _ | Caps _ -> acc)
+    0 t.body
+
+let total_bytes t = inline_bytes t + mapped_bytes t
+
+let data_exn t =
+  let rec find = function
+    | Data b :: _ -> b
+    | _ :: rest -> find rest
+    | [] -> raise Not_found
+  in
+  find t.body
+
+let caps t =
+  List.concat_map (function Caps cs -> cs | Data _ | Ool _ | Ool_region _ -> []) t.body
+
+let ool_payloads t =
+  List.filter_map (function Ool o -> Some o.ool_data | Data _ | Caps _ | Ool_region _ -> None) t.body
+
+let ool_regions t =
+  List.filter_map (function Ool_region r -> Some r | Data _ | Caps _ | Ool _ -> None) t.body
+
+let pp fmt t =
+  Format.fprintf fmt "msg{id=%d dest=%a inline=%dB mapped=%dB caps=%d}" t.header.msg_id Port.pp
+    t.header.dest (inline_bytes t) (mapped_bytes t)
+    (List.length (caps t))

@@ -1,0 +1,62 @@
+(** Messages: "a fixed length header and a variable-size collection of
+    typed data objects", which may include port capabilities and
+    out-of-line memory (§3.2). *)
+
+type t = { header : header; body : item list }
+
+and header = {
+  dest : port;
+  reply : port option;
+  msg_id : int;  (** operation identifier, like Mach's msgh_id *)
+}
+
+and item =
+  | Data of bytes  (** inline typed data: moved by copying *)
+  | Caps of cap list  (** port capabilities *)
+  | Ool of ool  (** out-of-line memory region (payload carried) *)
+  | Ool_region of ool_region
+      (** out-of-line *address-space region*: transferred by mapping
+          (copy-on-write) when the receiver asks the kernel to map it —
+          the pure duality path. The ints identify the source task and
+          range; the kernel resolves them at receive time. *)
+
+and ool_region = { src_task : int; src_addr : int; region_size : int }
+
+and cap = { cap_port : port; cap_right : right }
+and right = Send_right | Receive_right
+
+and ool = {
+  ool_data : bytes;
+  transfer : transfer_mode;
+}
+
+and transfer_mode =
+  | Copy_transfer  (** physical copy: cost scales with size *)
+  | Map_transfer
+      (** virtual (copy-on-write) transfer: constant mapping cost per
+          page; this is the memory/communication duality applied to
+          large messages *)
+
+and port = t Port.t
+
+val make : ?reply:port -> ?msg_id:int -> dest:port -> item list -> t
+
+val inline_bytes : t -> int
+(** Bytes that must be physically copied to transfer this message
+    (inline data plus [Copy_transfer] out-of-line regions). *)
+
+val mapped_bytes : t -> int
+(** Bytes moved by mapping ([Map_transfer] regions). *)
+
+val total_bytes : t -> int
+
+val data_exn : t -> bytes
+(** The first [Data] item; raises [Not_found] if none. *)
+
+val caps : t -> cap list
+(** All capabilities in body order. *)
+
+val ool_payloads : t -> bytes list
+val ool_regions : t -> ool_region list
+
+val pp : Format.formatter -> t -> unit

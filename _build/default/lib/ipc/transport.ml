@@ -1,0 +1,139 @@
+module Engine = Mach_sim.Engine
+module Mailbox = Mach_sim.Mailbox
+module Waitq = Mach_sim.Waitq
+module Machine = Mach_hw.Machine
+module Net = Mach_hw.Net
+
+type node = { node_host : int; node_params : Machine.params; node_page_size : int }
+type send_error = Send_invalid_port | Send_timed_out
+type recv_error = Recv_timed_out | Recv_invalid_port
+
+let pages_of node bytes = (bytes + node.node_page_size - 1) / node.node_page_size
+
+let send_cost_us node msg =
+  let p = node.node_params in
+  let copy_us_per_byte = p.Machine.page_copy_us /. float_of_int node.node_page_size in
+  let inline = Message.inline_bytes msg in
+  let mapped_pages = pages_of node (Message.mapped_bytes msg) in
+  p.Machine.msg_overhead_us
+  +. (float_of_int inline *. copy_us_per_byte)
+  +. (float_of_int mapped_pages *. p.Machine.map_op_us)
+
+let enqueue_local ?timeout port msg =
+  match
+    match timeout with
+    | None ->
+      Mailbox.send (Port.queue port) msg;
+      true
+    | Some t -> Mailbox.send_timeout (Port.queue port) msg ~timeout:t
+  with
+  | true ->
+    Port.notify_arrival port;
+    Ok ()
+  | false -> Error Send_timed_out
+  | exception Mailbox.Closed -> Error Send_invalid_port
+
+let send node ?timeout msg =
+  let dest = msg.Message.header.dest in
+  if not (Port.alive dest) then Error Send_invalid_port
+  else begin
+    Engine.sleep (send_cost_us node msg);
+    (* The port may have died while we were copying. *)
+    if not (Port.alive dest) then Error Send_invalid_port
+    else if Port.home dest = node.node_host then enqueue_local ?timeout dest msg
+    else begin
+      (* Remote destination: hand the message to the network; the
+         sender does not wait for remote queueing (netmsg-server
+         style). Queue-full blocking happens at the remote side in a
+         detached delivery thread. *)
+      let ctx = Port.context dest in
+      let net = Context.net ctx in
+      let bytes = Message.total_bytes msg in
+      Net.deliver net ~src:node.node_host ~dst:(Port.home dest) ~bytes (fun () ->
+          Engine.spawn (Context.engine ctx) ~name:"net-delivery" (fun () ->
+              if Port.alive dest then
+                match enqueue_local dest msg with Ok () | Error _ -> ()));
+      Ok ()
+    end
+  end
+
+let insert_caps space msg =
+  List.iter
+    (fun { Message.cap_port; cap_right } -> ignore (Port_space.insert space cap_port cap_right))
+    (Message.caps msg)
+
+let charge_receive node = Engine.sleep node.node_params.Machine.context_switch_us
+
+let receive_one node space port ?timeout () =
+  let result =
+    match timeout with
+    | None -> (
+      match Mailbox.recv (Port.queue port) with
+      | msg -> Ok msg
+      | exception Mailbox.Closed -> Error Recv_invalid_port)
+    | Some t -> (
+      match Mailbox.recv_timeout (Port.queue port) ~timeout:t with
+      | Some msg -> Ok msg
+      | None -> if Port.alive port then Error Recv_timed_out else Error Recv_invalid_port
+      | exception Mailbox.Closed -> Error Recv_invalid_port)
+  in
+  match result with
+  | Ok msg ->
+    charge_receive node;
+    insert_caps space msg;
+    Ok msg
+  | Error e -> Error e
+
+let receive_any node space ?timeout () =
+  let engine = Context.engine (Port_space.context space) in
+  let deadline = Option.map (fun t -> Engine.now engine +. t) timeout in
+  let rec scan () =
+    let ports = Port_space.enabled_ports space in
+    let rec try_ports = function
+      | [] -> None
+      | (_, port) :: rest -> (
+        match Mailbox.try_recv (Port.queue port) with
+        | Some msg -> Some msg
+        | None | (exception Mailbox.Closed) -> try_ports rest)
+    in
+    match try_ports ports with
+    | Some msg ->
+      charge_receive node;
+      insert_caps space msg;
+      Ok msg
+    | None -> (
+      match deadline with
+      | None ->
+        Waitq.wait (Port_space.activity space);
+        scan ()
+      | Some d ->
+        let remaining = d -. Engine.now engine in
+        if remaining <= 0.0 then Error Recv_timed_out
+        else if Waitq.wait_timeout (Port_space.activity space) ~timeout:remaining then scan ()
+        else Error Recv_timed_out)
+  in
+  scan ()
+
+let receive node space ~from ?timeout () =
+  match from with
+  | `Any -> receive_any node space ?timeout ()
+  | `Port name -> (
+    if not (Port_space.has_receive space name) then Error Recv_invalid_port
+    else
+      match Port_space.lookup space name with
+      | None -> Error Recv_invalid_port
+      | Some port -> receive_one node space port ?timeout ())
+
+let rpc node space msg ?send_timeout ?recv_timeout () =
+  match msg.Message.header.reply with
+  | None -> invalid_arg "Transport.rpc: message has no reply port"
+  | Some reply_port -> (
+    match Port_space.name_of space reply_port with
+    | None -> invalid_arg "Transport.rpc: reply port not in caller's space"
+    | Some reply_name -> (
+      match send node ?timeout:send_timeout msg with
+      | Error e -> Error (`Send e)
+      | Ok () -> (
+        match receive node space ~from:(`Port reply_name) ?timeout:recv_timeout () with
+        | Ok reply -> Ok reply
+        | Error e -> Error (`Recv e))))

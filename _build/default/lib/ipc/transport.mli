@@ -1,0 +1,56 @@
+(** The primitive message operations of Table 3-1: [msg_send],
+    [msg_receive], [msg_rpc].
+
+    Cost model (charged in simulated time to the calling thread):
+    - a fixed per-message software overhead ([msg_overhead_us]);
+    - inline and [Copy_transfer] out-of-line bytes cost a physical copy
+      (derived from the machine's page-copy rate);
+    - [Map_transfer] out-of-line regions cost one map operation per page
+      — the duality's win for large messages;
+    - cross-host destinations add network transit (latency + bytes/BW);
+      the sender does not wait for remote queueing. *)
+
+type node = {
+  node_host : int;  (** host id of the calling task *)
+  node_params : Mach_hw.Machine.params;
+  node_page_size : int;
+}
+
+type send_error =
+  | Send_invalid_port  (** destination is dead *)
+  | Send_timed_out  (** queue stayed full past the timeout *)
+
+type recv_error =
+  | Recv_timed_out
+  | Recv_invalid_port  (** no receive right / port dead with empty queue *)
+
+val send :
+  node -> ?timeout:float -> Message.t -> (unit, send_error) result
+(** Blocks while the destination queue is full (unless [timeout],
+    in microseconds, is given; [timeout] = 0 is a non-blocking try). *)
+
+val receive :
+  node ->
+  Port_space.t ->
+  from:[ `Port of Port_space.name | `Any ] ->
+  ?timeout:float ->
+  unit ->
+  (Message.t, recv_error) result
+(** [`Any] receives from the space's enabled default group (§3.2,
+    [port_enable]); ports are scanned in name order. Port capabilities
+    carried in the message are inserted into the receiving space. *)
+
+val rpc :
+  node ->
+  Port_space.t ->
+  Message.t ->
+  ?send_timeout:float ->
+  ?recv_timeout:float ->
+  unit ->
+  (Message.t, [ `Send of send_error | `Recv of recv_error ]) result
+(** [msg_rpc]: send, then receive on the message's reply port (which
+    must be present and held with receive rights in [space]). *)
+
+val send_cost_us : node -> Message.t -> float
+(** The simulated CPU cost {!send} would charge (excluding queueing and
+    network time) — exposed for the E3 bench. *)

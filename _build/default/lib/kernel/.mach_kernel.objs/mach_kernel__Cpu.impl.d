@@ -1,0 +1,1 @@
+lib/kernel/cpu.ml: Ktypes Mach_hw Mach_sim

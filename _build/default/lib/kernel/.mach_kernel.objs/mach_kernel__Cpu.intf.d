@@ -1,0 +1,1 @@
+lib/kernel/cpu.mli: Ktypes

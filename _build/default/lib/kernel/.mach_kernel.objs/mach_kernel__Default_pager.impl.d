@@ -1,0 +1,1 @@
+lib/kernel/default_pager.ml: Bytes Hashtbl Mach_hw Mach_ipc Mach_sim Mach_vm Queue

@@ -1,0 +1,1 @@
+lib/kernel/default_pager.mli: Mach_hw Mach_vm

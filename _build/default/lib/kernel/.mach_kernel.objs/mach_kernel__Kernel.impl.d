@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Default_pager Ktypes Mach_hw Mach_ipc Mach_sim Mach_vm Pager_service Printf Task_server

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Ktypes Mach_hw Mach_ipc Mach_sim Mach_vm

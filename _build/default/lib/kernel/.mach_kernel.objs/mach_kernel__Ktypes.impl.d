@@ -1,0 +1,1 @@
+lib/kernel/ktypes.ml: Default_pager Mach_hw Mach_ipc Mach_sim Mach_vm

@@ -1,0 +1,1 @@
+lib/kernel/name_server.ml: Format Hashtbl Ktypes List Mach_ipc Mach_sim Mach_util String Syscalls Task

@@ -1,0 +1,1 @@
+lib/kernel/name_server.mli: Format Ktypes Mach_ipc

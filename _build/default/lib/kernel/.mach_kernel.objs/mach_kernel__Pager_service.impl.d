@@ -1,0 +1,1 @@
+lib/kernel/pager_service.ml: Mach_ipc Mach_sim Mach_vm

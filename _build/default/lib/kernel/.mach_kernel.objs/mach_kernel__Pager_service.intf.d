@@ -1,0 +1,1 @@
+lib/kernel/pager_service.mli: Mach_vm

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Cpu Ktypes List Mach_hw Mach_ipc Mach_vm Thread

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.mli: Ktypes Mach_hw Mach_ipc Mach_vm

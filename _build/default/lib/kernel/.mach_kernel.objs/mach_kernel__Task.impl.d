@@ -1,0 +1,1 @@
+lib/kernel/task.ml: Ktypes List Mach_hw Mach_ipc Mach_vm

@@ -1,0 +1,1 @@
+lib/kernel/task.mli: Ktypes Mach_ipc Mach_vm

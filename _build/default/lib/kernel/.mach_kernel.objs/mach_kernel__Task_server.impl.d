@@ -1,0 +1,1 @@
+lib/kernel/task_server.ml: Format Hashtbl Ktypes List Mach_ipc Mach_sim Mach_util Mach_vm Syscalls Task Thread

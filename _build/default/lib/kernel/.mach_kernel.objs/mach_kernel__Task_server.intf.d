@@ -1,0 +1,1 @@
+lib/kernel/task_server.mli: Format Ktypes Mach_ipc

@@ -1,0 +1,1 @@
+lib/kernel/thread.ml: Ktypes List Mach_sim Printf

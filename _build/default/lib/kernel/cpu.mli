@@ -1,0 +1,13 @@
+(** Processor accounting: compute bursts contend for the host's CPUs
+    (a 16-CPU MultiMax runs 16 bursts in parallel; a VAX 11/780 runs
+    one at a time). *)
+
+val syscall_overhead_us : float
+(** Flat kernel-entry cost charged by every Table 3-2/3-3 operation. *)
+
+val compute : Ktypes.kernel -> float -> unit
+(** Occupy one CPU for the given number of simulated microseconds. *)
+
+val compute_words : Ktypes.kernel -> words:int -> remote:bool -> unit
+(** Occupy one CPU for the time to touch [words] memory words at
+    local/remote latency (the §7 access model). *)

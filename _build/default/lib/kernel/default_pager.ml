@@ -1,0 +1,154 @@
+module Engine = Mach_sim.Engine
+module Port = Mach_ipc.Port
+module Port_space = Mach_ipc.Port_space
+module Message = Mach_ipc.Message
+module Transport = Mach_ipc.Transport
+module Disk = Mach_hw.Disk
+module Prot = Mach_hw.Prot
+module Kctx = Mach_vm.Kctx
+module Pager_iface = Mach_vm.Pager_iface
+
+type managed = {
+  request : Message.port;  (** where our manager→kernel calls go *)
+  blocks : (int, int) Hashtbl.t;  (** object offset → disk block *)
+  memory_object : Message.port;
+}
+
+type t = {
+  kctx : Kctx.t;
+  disk : Disk.t;
+  space : Port_space.t;
+  node : Transport.node;
+  objects : (int, managed) Hashtbl.t;  (** memory-object port id → state *)
+  free_blocks : int Queue.t;
+  mutable stored : int;
+}
+
+let alloc_block t =
+  match Queue.take_opt t.free_blocks with
+  | Some b -> b
+  | None -> failwith "default pager: paging disk full"
+
+let send t msg =
+  Engine.spawn t.kctx.Kctx.engine ~name:"default-pager-send" (fun () ->
+      match Transport.send t.node msg with Ok () | Error _ -> ())
+
+(* Paging blocks of a dead object go back to the free pool. *)
+let release_blocks t object_port_id =
+  match Hashtbl.find_opt t.objects object_port_id with
+  | None -> ()
+  | Some m ->
+    Hashtbl.iter
+      (fun _ block ->
+        t.stored <- t.stored - 1;
+        Queue.add block t.free_blocks)
+      m.blocks;
+    Hashtbl.reset m.blocks;
+    Hashtbl.remove t.objects object_port_id
+
+let handle t (msg : Message.t) =
+  match Pager_iface.decode_k2m msg with
+  | exception Pager_iface.Malformed _ -> ()
+  | Pager_iface.Create { new_memory_object; request; name = _; size = _ } ->
+    let name_in_space = Port_space.insert t.space new_memory_object Message.Receive_right in
+    Port_space.enable t.space name_in_space;
+    (* When the kernel terminates the object it destroys the request
+       port; reclaim this object's paging blocks at that point. *)
+    ignore
+      (Port.on_death request (fun () -> release_blocks t (Port.id new_memory_object)));
+    Hashtbl.replace t.objects (Port.id new_memory_object)
+      { request; blocks = Hashtbl.create 16; memory_object = new_memory_object }
+  | Pager_iface.Init { memory_object; request; name = _ } ->
+    (* A default pager can also be used as an ordinary manager. *)
+    ignore (Port.on_death request (fun () -> release_blocks t (Port.id memory_object)));
+    Hashtbl.replace t.objects (Port.id memory_object)
+      { request; blocks = Hashtbl.create 16; memory_object }
+  | Pager_iface.Data_request { memory_object; request; offset; length; desired_access = _ } -> (
+    match Hashtbl.find_opt t.objects (Port.id memory_object) with
+    | None -> ()
+    | Some m -> (
+      match Hashtbl.find_opt m.blocks offset with
+      | Some block ->
+        let data = Disk.read t.disk ~block in
+        let data = Bytes.sub data 0 (min length (Bytes.length data)) in
+        send t
+          (Pager_iface.encode_m2k
+             (Pager_iface.Data_provided { offset; data; lock_value = Prot.none })
+             ~request)
+      | None ->
+        (* Never paged out: the kernel zero-fills. *)
+        send t
+          (Pager_iface.encode_m2k
+             (Pager_iface.Data_unavailable { offset; size = length })
+             ~request)))
+  | Pager_iface.Data_write { memory_object; offset; data; write_id } -> (
+    match Hashtbl.find_opt t.objects (Port.id memory_object) with
+    | None -> (
+      (* Object already gone (terminated while this write was in
+         flight): the data is dead, but the kernel's holding frame must
+         still be released. *)
+      match msg.Message.header.reply with
+      | Some request ->
+        send t (Pager_iface.encode_m2k (Pager_iface.Release_write { write_id }) ~request)
+      | None -> ())
+    | Some m ->
+      let block =
+        match Hashtbl.find_opt m.blocks offset with
+        | Some b -> b
+        | None ->
+          let b = alloc_block t in
+          Hashtbl.replace m.blocks offset b;
+          t.stored <- t.stored + 1;
+          b
+      in
+      Disk.write t.disk ~block data;
+      (* Promptly release the kernel's holding frame (§6.2.2). *)
+      send t (Pager_iface.encode_m2k (Pager_iface.Release_write { write_id }) ~request:m.request))
+  | Pager_iface.Data_unlock _ | Pager_iface.Lock_completed _ -> ()
+
+let start kctx ~disk =
+  let ctx = kctx.Kctx.ctx in
+  let space = Port_space.create ctx ~home:kctx.Kctx.host in
+  let t =
+    {
+      kctx;
+      disk;
+      space;
+      node = kctx.Kctx.node;
+      objects = Hashtbl.create 32;
+      free_blocks = Queue.create ();
+      stored = 0;
+    }
+  in
+  for b = 0 to Disk.blocks disk - 1 do
+    Queue.add b t.free_blocks
+  done;
+  (* Public port: the kernel sends pager_create here. *)
+  let public_name = Port_space.allocate space ~backlog:256 () in
+  Port_space.enable space public_name;
+  let public_port = Port_space.lookup_exn space public_name in
+  kctx.Kctx.default_pager_port <- Some public_port;
+  (* §6.2.2 rescue: unreleased pageout data is written to the paging
+     disk in a detached thread (the scheduler callback must not block).
+     The data is unreachable afterwards (the errant manager holds the
+     only reference), so one scratch block absorbs all rescues — we pay
+     the I/O, we don't leak the paging area. *)
+  let scratch_block = alloc_block t in
+  kctx.Kctx.rescue_writer <-
+    Some
+      (fun data ->
+        Engine.spawn kctx.Kctx.engine ~name:"default-pager-rescue" (fun () ->
+            Disk.write t.disk ~block:scratch_block data));
+  Engine.spawn kctx.Kctx.engine ~name:"default-pager" (fun () ->
+      let rec loop () =
+        (match Transport.receive t.node t.space ~from:`Any () with
+        | Ok msg -> handle t msg
+        | Error _ -> ());
+        loop ()
+      in
+      loop ());
+  t
+
+let objects_managed t = Hashtbl.length t.objects
+let pages_stored t = t.stored
+let blocks_free t = Queue.length t.free_blocks

@@ -1,0 +1,102 @@
+open Ktypes
+module Engine = Mach_sim.Engine
+module Semaphore = Mach_sim.Semaphore
+module Machine = Mach_hw.Machine
+module Phys_mem = Mach_hw.Phys_mem
+module Disk = Mach_hw.Disk
+module Net = Mach_hw.Net
+module Kctx = Mach_vm.Kctx
+
+type config = {
+  params : Machine.params;
+  phys_frames : int;
+  page_size : int;
+  paging_blocks : int;
+  reserved_frames : int option;
+  pager_timeout_us : float;
+}
+
+let default_config =
+  {
+    params = Machine.uniprocessor;
+    phys_frames = 1024;
+    page_size = 4096;
+    paging_blocks = 4096;
+    reserved_frames = None;
+    pager_timeout_us = 2_000_000.0;
+  }
+
+let boot engine ctx net ~host config =
+  let mem = Phys_mem.create ~frames:config.phys_frames ~page_size:config.page_size in
+  let kctx =
+    Kctx.create engine ctx ~host ~params:config.params ~mem
+      ?reserved_frames:config.reserved_frames ~pager_timeout_us:config.pager_timeout_us ()
+  in
+  Mach_vm.Pager_client.install kctx;
+  let paging_disk =
+    Disk.create engine
+      ~name:(Printf.sprintf "paging%d" host)
+      ~blocks:config.paging_blocks ~block_size:config.page_size ()
+  in
+  let k =
+    {
+      k_host = host;
+      k_engine = engine;
+      k_ctx = ctx;
+      k_net = net;
+      k_kctx = kctx;
+      k_params = config.params;
+      k_cpus = Semaphore.create config.params.Machine.cpus;
+      k_paging_disk = paging_disk;
+      k_tasks = [];
+      k_next_task_id = 1;
+      k_next_thread_id = 1;
+      k_task_port_maker = None;
+      k_thread_port_maker = None;
+      k_default_pager = None;
+    }
+  in
+  Pager_service.start kctx;
+  Mach_vm.Pageout.start kctx;
+  k.k_default_pager <- Some (Default_pager.start kctx ~disk:paging_disk);
+  ignore (Task_server.start k);
+  k
+
+type system = {
+  engine : Engine.t;
+  ipc_ctx : Mach_ipc.Context.t;
+  net : Net.t;
+  kernel : kernel;
+}
+
+let create_system ?(config = default_config) () =
+  let engine = Engine.create () in
+  let net = Net.create engine () in
+  let ipc_ctx = Mach_ipc.Context.create engine net in
+  let kernel = boot engine ipc_ctx net ~host:0 config in
+  { engine; ipc_ctx; net; kernel }
+
+type cluster = {
+  c_engine : Engine.t;
+  c_ctx : Mach_ipc.Context.t;
+  c_net : Net.t;
+  c_kernels : kernel array;
+}
+
+let create_cluster ~hosts ?(config = default_config) ?net_latency_us ?net_us_per_byte () =
+  let engine = Engine.create () in
+  let latency =
+    match net_latency_us with Some l -> l | None -> config.params.Machine.net_latency_us
+  in
+  let per_byte =
+    match net_us_per_byte with Some c -> c | None -> config.params.Machine.net_us_per_byte
+  in
+  let net = Net.create engine ~latency_us:latency ~us_per_byte:per_byte () in
+  let ctx = Mach_ipc.Context.create engine net in
+  let kernels = Array.init hosts (fun host -> boot engine ctx net ~host config) in
+  { c_engine = engine; c_ctx = ctx; c_net = net; c_kernels = kernels }
+
+let kctx k = k.k_kctx
+let stats k = k.k_kctx.Kctx.stats
+let engine k = k.k_engine
+let free_frames k = Phys_mem.free_frames k.k_kctx.Kctx.mem

@@ -1,0 +1,54 @@
+(** Kernel boot: assemble physical memory, the VM context, the pageout
+    daemon, the pager service thread and the default pager into a
+    running per-host kernel — and wire several such hosts into a
+    NORMA cluster. *)
+
+open Ktypes
+
+type config = {
+  params : Mach_hw.Machine.params;
+  phys_frames : int;
+  page_size : int;
+  paging_blocks : int;  (** default pager backing store, in pages *)
+  reserved_frames : int option;
+  pager_timeout_us : float;
+}
+
+val default_config : config
+(** VAX 11/780-class host: 1024 frames of 4 KB (4 MB), 4096-page paging
+    area, 2 s manager timeout. *)
+
+val boot :
+  Mach_sim.Engine.t -> Mach_ipc.Context.t -> Mach_hw.Net.t -> host:int -> config -> kernel
+
+(** A self-contained single-host system (most tests and examples). *)
+type system = {
+  engine : Mach_sim.Engine.t;
+  ipc_ctx : Mach_ipc.Context.t;
+  net : Mach_hw.Net.t;
+  kernel : kernel;
+}
+
+val create_system : ?config:config -> unit -> system
+
+(** A multi-host cluster sharing one network — the NORMA configuration
+    of §7. *)
+type cluster = {
+  c_engine : Mach_sim.Engine.t;
+  c_ctx : Mach_ipc.Context.t;
+  c_net : Mach_hw.Net.t;
+  c_kernels : kernel array;
+}
+
+val create_cluster :
+  hosts:int ->
+  ?config:config ->
+  ?net_latency_us:float ->
+  ?net_us_per_byte:float ->
+  unit ->
+  cluster
+
+val kctx : kernel -> Mach_vm.Kctx.t
+val stats : kernel -> Mach_vm.Vm_types.stats
+val engine : kernel -> Mach_sim.Engine.t
+val free_frames : kernel -> int

@@ -1,0 +1,31 @@
+(** A netname-style name service.
+
+    The paper leaves service rendezvous out of scope ("how it specifies
+    that region … is not important to the example"), but a real Mach
+    site ran a name server for exactly this: servers check in a send
+    right under a string name; clients look the right up. Ports being
+    location-independent, a single name server serves a whole cluster. *)
+
+open Ktypes
+
+type t
+
+val start : kernel -> ?name:string -> unit -> t
+val service_port : t -> Mach_ipc.Message.port
+val registered : t -> string list
+
+module Client : sig
+  type error = [ `Not_found | `Ipc_failure | `Malformed ]
+
+  val pp_error : Format.formatter -> error -> unit
+
+  val check_in :
+    task -> server:Mach_ipc.Message.port -> string -> Mach_ipc.Message.port -> (unit, error) result
+  (** Register (or replace) a send right under [name]. *)
+
+  val look_up :
+    task -> server:Mach_ipc.Message.port -> string -> (Mach_ipc.Message.port, error) result
+
+  val check_out : task -> server:Mach_ipc.Message.port -> string -> (unit, error) result
+  (** Remove a registration. *)
+end

@@ -1,0 +1,13 @@
+module Engine = Mach_sim.Engine
+module Transport = Mach_ipc.Transport
+module Kctx = Mach_vm.Kctx
+
+let start (kctx : Kctx.t) =
+  Engine.spawn kctx.Kctx.engine ~name:"pager-service" (fun () ->
+      let rec loop () =
+        (match Transport.receive kctx.Kctx.node kctx.Kctx.kspace ~from:`Any () with
+        | Ok msg -> Mach_vm.Pager_client.handle_manager_message kctx msg
+        | Error _ -> ());
+        loop ()
+      in
+      loop ())

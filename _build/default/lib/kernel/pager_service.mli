@@ -1,0 +1,8 @@
+(** The kernel thread that services manager→kernel pager traffic.
+
+    Pager request ports (the kernel holds their receive rights) are
+    enabled in the kernel's port space; this thread receives from that
+    default group and dispatches each message to
+    {!Mach_vm.Pager_client.handle_manager_message}. *)
+
+val start : Mach_vm.Kctx.t -> unit

@@ -1,0 +1,211 @@
+open Ktypes
+module Message = Mach_ipc.Message
+module Port_space = Mach_ipc.Port_space
+module Transport = Mach_ipc.Transport
+module Prot = Mach_hw.Prot
+module Phys_mem = Mach_hw.Phys_mem
+module Kctx = Mach_vm.Kctx
+module Vm_map = Mach_vm.Vm_map
+module Access = Mach_vm.Access
+module Page_queues = Mach_vm.Page_queues
+
+let enter t =
+  Thread.self_checkpoint t;
+  Cpu.compute t.t_kernel Cpu.syscall_overhead_us
+
+(* --- Table 3-1 ---------------------------------------------------------- *)
+
+let msg_send t ?timeout msg =
+  enter t;
+  Transport.send t.t_node ?timeout msg
+
+let msg_receive t ?(from = `Any) ?timeout () =
+  enter t;
+  Transport.receive t.t_node t.t_space ~from ?timeout ()
+
+let msg_rpc t msg ?send_timeout ?recv_timeout () =
+  enter t;
+  Transport.rpc t.t_node t.t_space msg ?send_timeout ?recv_timeout ()
+
+(* --- Table 3-2 ---------------------------------------------------------- *)
+
+let port_allocate t ?backlog () =
+  enter t;
+  Port_space.allocate t.t_space ?backlog ()
+
+let port_deallocate t name =
+  enter t;
+  Port_space.deallocate t.t_space name
+
+let port_enable t name =
+  enter t;
+  Port_space.enable t.t_space name
+
+let port_disable t name =
+  enter t;
+  Port_space.disable t.t_space name
+
+let port_messages t =
+  enter t;
+  Port_space.messages_waiting t.t_space
+
+let port_status t name =
+  enter t;
+  Port_space.status t.t_space name
+
+let port_set_backlog t name backlog =
+  enter t;
+  Port_space.set_backlog t.t_space name backlog
+
+let port_lookup t name = Port_space.lookup t.t_space name
+let port_insert t port right = Port_space.insert t.t_space port right
+
+(* --- Table 3-3 ---------------------------------------------------------- *)
+
+let vm_allocate t ?addr ~size ~anywhere () =
+  enter t;
+  Vm_map.allocate t.t_map ?addr ~size ~anywhere ()
+
+let vm_deallocate t ~addr ~size =
+  enter t;
+  Vm_map.deallocate t.t_map ~addr ~size
+
+let vm_inherit t ~addr ~size inh =
+  enter t;
+  Vm_map.set_inheritance t.t_map ~addr ~size inh
+
+let vm_protect t ~addr ~size ~set_max prot =
+  enter t;
+  Vm_map.protect t.t_map ~addr ~size ~set_max prot
+
+let vm_read t ?target ~addr ~size () =
+  enter t;
+  let target = match target with Some x -> x | None -> t in
+  Access.read_bytes t.t_kernel.k_kctx target.t_map ~addr ~len:size ()
+
+let vm_write t ?target ~addr data () =
+  enter t;
+  let target = match target with Some x -> x | None -> t in
+  Access.write_bytes t.t_kernel.k_kctx target.t_map ~addr data ()
+
+let vm_copy t ~src_addr ~size ~dst_addr =
+  enter t;
+  let kctx = t.t_kernel.k_kctx in
+  match Access.read_bytes kctx t.t_map ~addr:src_addr ~len:size () with
+  | Error e -> Error e
+  | Ok data -> Access.write_bytes kctx t.t_map ~addr:dst_addr data ()
+
+let vm_regions t =
+  enter t;
+  Vm_map.regions t.t_map
+
+(* Walk the range page by page: fault each page in, then adjust its
+   wire count through the map lookup (the resident page is reachable by
+   the same path the fault handler used). *)
+let adjust_wiring t ~addr ~size delta =
+  let kctx = t.t_kernel.k_kctx in
+  let ps = kctx.Kctx.page_size in
+  let lo = addr land lnot (ps - 1) in
+  let hi = addr + size in
+  let rec go va =
+    if va >= hi then Ok ()
+    else
+      match Access.touch kctx t.t_map ~addr:va ~write:false () with
+      | Error e -> Error e
+      | Ok _ -> (
+        match Vm_map.lookup t.t_map ~addr:va ~write:false with
+        | Error `Invalid_address -> Error (Access.Bad_address va)
+        | Error `Protection -> Error (Access.Access_denied va)
+        | Ok lk -> (
+          match
+            Mach_vm.Vm_object.lookup_chain lk.Vm_map.lk_obj ~offset:lk.Vm_map.lk_offset
+          with
+          | Some (page, _, _) ->
+            page.Mach_vm.Vm_types.wire_count <-
+              max 0 (page.Mach_vm.Vm_types.wire_count + delta);
+            (* Wired pages leave the replacement queues; unwired ones
+               return to the active queue. *)
+            if page.Mach_vm.Vm_types.wire_count > 0 then
+              Page_queues.remove kctx.Kctx.queues page
+            else Page_queues.activate kctx.Kctx.queues page;
+            go (va + ps)
+          | None -> go (va + ps)))
+  in
+  go lo
+
+let vm_wire t ~addr ~size =
+  enter t;
+  adjust_wiring t ~addr ~size 1
+
+let vm_unwire t ~addr ~size =
+  enter t;
+  match adjust_wiring t ~addr ~size (-1) with Ok () | Error _ -> ()
+
+type vm_statistics = {
+  vs_page_size : int;
+  vs_free_count : int;
+  vs_active_count : int;
+  vs_inactive_count : int;
+  vs_stats : Mach_vm.Vm_types.stats;
+}
+
+let vm_statistics t =
+  enter t;
+  let kctx = t.t_kernel.k_kctx in
+  {
+    vs_page_size = kctx.Kctx.page_size;
+    vs_free_count = Phys_mem.free_frames kctx.Kctx.mem;
+    vs_active_count = Page_queues.active_count kctx.Kctx.queues;
+    vs_inactive_count = Page_queues.inactive_count kctx.Kctx.queues;
+    vs_stats = kctx.Kctx.stats;
+  }
+
+(* --- Table 3-4 ---------------------------------------------------------- *)
+
+let vm_allocate_with_pager t ?addr ~size ~anywhere ~memory_object ~offset () =
+  enter t;
+  let kctx = t.t_kernel.k_kctx in
+  let obj = Mach_vm.Vm_object.create_external kctx ~memory_object ~size:(offset + size) in
+  Mach_vm.Pager_client.ensure_initialized kctx obj;
+  Vm_map.allocate_with_object t.t_map ?addr ~size ~anywhere ~obj ~offset ()
+
+(* --- region transfer ---------------------------------------------------- *)
+
+let transfer_region ~from_task ~to_task ~addr ~size =
+  enter from_task;
+  if from_task.t_kernel != to_task.t_kernel then
+    invalid_arg "Syscalls.transfer_region: tasks on different hosts";
+  let kctx = from_task.t_kernel.k_kctx in
+  let pages = Kctx.pages_of_bytes kctx size in
+  Cpu.compute from_task.t_kernel
+    (float_of_int pages *. from_task.t_kernel.k_params.Mach_hw.Machine.map_op_us);
+  Vm_map.copy_region ~src:from_task.t_map ~src_addr:addr ~size ~dst:to_task.t_map ()
+
+let ool_region t ~addr ~size =
+  Message.Ool_region { Message.src_task = t.t_id; src_addr = addr; region_size = size }
+
+let map_ool t msg =
+  List.map
+    (fun { Message.src_task; src_addr; region_size } ->
+      match List.find_opt (fun x -> x.t_id = src_task) t.t_kernel.k_tasks with
+      | None -> invalid_arg "Syscalls.map_ool: source task not on this host (or dead)"
+      | Some src ->
+        let addr = transfer_region ~from_task:src ~to_task:t ~addr:src_addr ~size:region_size in
+        (addr, region_size))
+    (Message.ool_regions msg)
+
+(* --- memory access ------------------------------------------------------ *)
+
+let touch t ~addr ~write ?policy () =
+  Thread.self_checkpoint t;
+  match Access.touch t.t_kernel.k_kctx t.t_map ~addr ~write ?policy () with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let read_bytes t ~addr ~len ?policy () =
+  Thread.self_checkpoint t;
+  Access.read_bytes t.t_kernel.k_kctx t.t_map ~addr ~len ?policy ()
+
+let write_bytes t ~addr data ?policy () =
+  Thread.self_checkpoint t;
+  Access.write_bytes t.t_kernel.k_kctx t.t_map ~addr data ?policy ()

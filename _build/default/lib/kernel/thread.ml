@@ -1,0 +1,45 @@
+open Ktypes
+module Engine = Mach_sim.Engine
+module Waitq = Mach_sim.Waitq
+
+let spawn task ?name body =
+  let k = task.t_kernel in
+  let id = k.k_next_thread_id in
+  k.k_next_thread_id <- id + 1;
+  let th_name =
+    match name with Some n -> n | None -> Printf.sprintf "%s.thread-%d" task.t_name id
+  in
+  let th =
+    { th_id = id; th_name; th_task = task; th_suspend_count = 0; th_resume = Waitq.create ();
+      th_done = false; th_port = None }
+  in
+  (match k.k_thread_port_maker with
+  | Some make -> th.th_port <- Some (make th)
+  | None -> ());
+  task.t_threads <- th :: task.t_threads;
+  Engine.spawn k.k_engine ~name:th_name (fun () ->
+      body ();
+      th.th_done <- true);
+  th
+
+let suspend th = th.th_suspend_count <- th.th_suspend_count + 1
+
+let resume th =
+  if th.th_suspend_count > 0 then begin
+    th.th_suspend_count <- th.th_suspend_count - 1;
+    if th.th_suspend_count = 0 then Waitq.broadcast th.th_resume
+  end
+
+let checkpoint th =
+  while th.th_suspend_count > 0 do
+    Waitq.wait th.th_resume
+  done
+
+let self_checkpoint task =
+  let me = Engine.self_name () in
+  match List.find_opt (fun th -> th.th_name = me) task.t_threads with
+  | Some th -> checkpoint th
+  | None -> ()
+
+let is_done th = th.th_done
+let thread_name th = th.th_name

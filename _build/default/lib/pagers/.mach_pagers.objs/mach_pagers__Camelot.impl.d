@@ -1,0 +1,1 @@
+lib/pagers/camelot.ml: Bytes Format Hashtbl List Mach Mach_fs Mach_hw Mach_ipc Mach_kernel Mach_sim Mach_util Mach_vm Option

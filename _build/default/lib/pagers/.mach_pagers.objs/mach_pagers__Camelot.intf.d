@@ -1,0 +1,1 @@
+lib/pagers/camelot.mli: Format Mach_hw Mach_ipc Mach_kernel Mach_vm

@@ -1,0 +1,1 @@
+lib/pagers/migrator.ml: Hashtbl List Mach Mach_hw Mach_ipc Mach_kernel Mach_sim Mach_util Mach_vm

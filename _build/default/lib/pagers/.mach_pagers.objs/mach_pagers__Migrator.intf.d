@@ -1,0 +1,1 @@
+lib/pagers/migrator.mli: Mach_kernel

@@ -1,0 +1,1 @@
+lib/pagers/minimal_fs.ml: Bytes Format Hashtbl List Mach Mach_fs Mach_hw Mach_ipc Mach_kernel Mach_util Option

@@ -1,0 +1,1 @@
+lib/pagers/minimal_fs.mli: Format Mach_fs Mach_hw Mach_ipc Mach_kernel

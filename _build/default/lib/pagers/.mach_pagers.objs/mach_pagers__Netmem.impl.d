@@ -1,0 +1,1 @@
+lib/pagers/netmem.ml: Array Bytes Hashtbl List Mach Mach_hw Mach_ipc Mach_kernel Mach_vm Queue

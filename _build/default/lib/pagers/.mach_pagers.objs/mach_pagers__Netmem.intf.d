@@ -1,0 +1,1 @@
+lib/pagers/netmem.mli: Mach_ipc Mach_kernel

@@ -1,0 +1,173 @@
+open Mach_kernel.Ktypes
+module Message = Mach_ipc.Message
+module Port = Mach_ipc.Port
+module Prot = Mach_hw.Prot
+module Engine = Mach_sim.Engine
+module Task = Mach_kernel.Task
+module Syscalls = Mach_kernel.Syscalls
+module Vm_map = Mach_vm.Vm_map
+module Access = Mach_vm.Access
+module Mos = Mach.Memory_object_server
+
+type strategy = Eager_copy | Copy_on_reference | Pre_paging of int
+type migration = { mg_task : task; mg_freeze_us : float }
+
+type backed_region = {
+  br_src : task;
+  br_base : int;  (** address of the region in the source task *)
+  br_size : int;
+  br_strategy : strategy;
+}
+
+type t = {
+  srv : Mos.t;
+  regions : (int, backed_region) Hashtbl.t;  (** memory-object port id → source region *)
+  mutable shipped : int;
+  mutable sources : (migration * task) list;
+}
+
+let server_task t = Mos.task t.srv
+let pages_transferred t = t.shipped
+
+let page_size_of task =
+  (Task.kernel task).Mach_kernel.Ktypes.k_kctx.Mach_vm.Kctx.page_size
+
+(* Serve one demand fault: read the frozen source pages and provide
+   them. Pre-paging ships extra trailing pages in the same reply
+   ("advanced data managers may provide more data than requested"). *)
+let on_data_request t ~memory_object ~request ~offset ~length ~desired_access:_ =
+  match Hashtbl.find_opt t.regions (Port.id memory_object) with
+  | None -> ()
+  | Some br ->
+    let ps = page_size_of br.br_src in
+    let extra = match br.br_strategy with Pre_paging n -> n * ps | _ -> 0 in
+    let want = min (length + extra) (br.br_size - offset) in
+    let want = max want 0 in
+    if want = 0 then Mos.data_unavailable t.srv ~request ~offset ~size:length
+    else begin
+      match
+        Access.read_bytes
+          (Task.kernel br.br_src).Mach_kernel.Ktypes.k_kctx (Task.map br.br_src)
+          ~addr:(br.br_base + offset) ~len:want ()
+      with
+      | Ok data ->
+        t.shipped <- t.shipped + ((want + ps - 1) / ps);
+        Mos.data_provided t.srv ~request ~offset ~data ~lock_value:Prot.none
+      | Error _ -> Mos.data_unavailable t.srv ~request ~offset ~size:length
+    end
+
+let start kernel ?(name = "migration-manager") () =
+  let srv_task = Task.create kernel ~name () in
+  let t_ref = ref None in
+  let get () = match !t_ref with Some t -> t | None -> assert false in
+  let callbacks =
+    {
+      Mos.no_callbacks with
+      Mos.on_data_request =
+        (fun _ ~memory_object ~request ~offset ~length ~desired_access ->
+          on_data_request (get ()) ~memory_object ~request ~offset ~length ~desired_access);
+    }
+  in
+  let srv = Mos.start srv_task callbacks in
+  let t = { srv; regions = Hashtbl.create 16; shipped = 0; sources = [] } in
+  t_ref := Some t;
+  t
+
+(* Ship the whole address space up front: the manager reads every source
+   page and writes it into the destination task through a per-page
+   message to a destination-side agent (charging the network for every
+   byte, referenced or not). *)
+let eager_copy t ~src ~dst regions =
+  let src_kctx = (Task.kernel src).Mach_kernel.Ktypes.k_kctx in
+  let dst_kernel = Task.kernel dst in
+  let ps = page_size_of src in
+  (* Destination-side agent that lands pages into the new task. *)
+  let agent_task = Task.create dst_kernel ~name:"migration-agent" () in
+  let landing_name = Syscalls.port_allocate agent_task ~backlog:8 () in
+  Syscalls.port_enable agent_task landing_name;
+  let landing = Mach_ipc.Port_space.lookup_exn (Task.space agent_task) landing_name in
+  let total_pages =
+    List.fold_left (fun acc r -> acc + ((r.Vm_map.ri_size + ps - 1) / ps)) 0 regions
+  in
+  let done_ = Mach_sim.Ivar.create () in
+  ignore
+    (Mach_kernel.Thread.spawn agent_task ~name:"migration-agent.main" (fun () ->
+         let landed = ref 0 in
+         while !landed < total_pages do
+           match Syscalls.msg_receive agent_task ~from:(`Port landing_name) () with
+           | Ok msg -> (
+             match Message.data_exn msg with
+             | header -> (
+               let d = Mach_util.Codec.Dec.of_bytes header in
+               let addr = Mach_util.Codec.Dec.int d in
+               let data = Mach_util.Codec.Dec.bytes d in
+               incr landed;
+               match Syscalls.write_bytes dst ~addr data () with
+               | Ok () -> ()
+               | Error _ -> ())
+             | exception Not_found -> ())
+           | Error _ -> ()
+         done;
+         Mach_sim.Ivar.fill done_ ()));
+  List.iter
+    (fun r ->
+      let base = r.Vm_map.ri_start in
+      let npages = (r.Vm_map.ri_size + ps - 1) / ps in
+      for i = 0 to npages - 1 do
+        match Access.read_bytes src_kctx (Task.map src) ~addr:(base + (i * ps)) ~len:ps () with
+        | Ok data ->
+          t.shipped <- t.shipped + 1;
+          let e = Mach_util.Codec.Enc.create () in
+          Mach_util.Codec.Enc.int e (base + (i * ps));
+          Mach_util.Codec.Enc.bytes e data;
+          let msg =
+            Message.make ~dest:landing [ Message.Data (Mach_util.Codec.Enc.to_bytes e) ]
+          in
+          (match Syscalls.msg_send (server_task t) msg with Ok () | Error _ -> ())
+        | Error _ -> ()
+      done)
+    regions;
+  Mach_sim.Ivar.read done_;
+  Task.terminate agent_task
+
+let migrate t ~src ~dst_kernel strategy =
+  let t0 = Engine.now (Task.kernel src).Mach_kernel.Ktypes.k_engine in
+  let regions =
+    List.filter (fun r -> not r.Vm_map.ri_shared) (Vm_map.regions (Task.map src))
+  in
+  let dst = Task.create dst_kernel ~name:(Task.name src ^ "-migrated") () in
+  (match strategy with
+  | Eager_copy ->
+    (* Allocate plain zero-fill memory and push every page across
+       before the task may run. *)
+    List.iter
+      (fun r ->
+        ignore
+          (Syscalls.vm_allocate dst ~addr:r.Vm_map.ri_start ~size:r.Vm_map.ri_size
+             ~anywhere:false ()))
+      regions;
+    eager_copy t ~src ~dst regions
+  | Copy_on_reference | Pre_paging _ ->
+    (* One memory object per region, backed by the frozen source. *)
+    List.iter
+      (fun r ->
+        let memory_object = Mos.create_memory_object t.srv () in
+        Hashtbl.replace t.regions (Port.id memory_object)
+          { br_src = src; br_base = r.Vm_map.ri_start; br_size = r.Vm_map.ri_size;
+            br_strategy = strategy };
+        ignore
+          (Syscalls.vm_allocate_with_pager dst ~addr:r.Vm_map.ri_start ~size:r.Vm_map.ri_size
+             ~anywhere:false ~memory_object ~offset:0 ()))
+      regions);
+  let mg =
+    { mg_task = dst; mg_freeze_us = Engine.now (Task.kernel src).Mach_kernel.Ktypes.k_engine -. t0 }
+  in
+  t.sources <- (mg, src) :: t.sources;
+  mg
+
+let finish t mg =
+  match List.assq_opt mg t.sources with
+  | None -> ()
+  | Some src ->
+    t.sources <- List.filter (fun (m, _) -> m != mg) t.sources;
+    Task.terminate src

@@ -1,0 +1,317 @@
+module Message = Mach_ipc.Message
+module Port = Mach_ipc.Port
+module Port_space = Mach_ipc.Port_space
+module Prot = Mach_hw.Prot
+module Codec = Mach_util.Codec
+module Syscalls = Mach_kernel.Syscalls
+module Task = Mach_kernel.Task
+module Mos = Mach.Memory_object_server
+module Fs_layout = Mach_fs.Fs_layout
+
+(* RPC message ids. *)
+let id_read_file = 3001
+let id_write_file = 3002
+let id_list_files = 3003
+let id_open_object = 3004
+let id_reply = 3100
+
+type file_state = {
+  f_name : string;
+  f_object : Message.port;
+  mutable f_requests : Message.port list;  (** one pager request port per kernel *)
+  mutable f_mapping : (int * int) option;  (** server's own mapping (addr, size) *)
+}
+
+type t = {
+  srv : Mos.t;
+  fs : Fs_layout.t;
+  service : Message.port;
+  by_object : (int, file_state) Hashtbl.t;  (** memory-object port id → file *)
+  by_name : (string, file_state) Hashtbl.t;
+  enable_cache : bool;
+}
+
+let server_task t = Mos.task t.srv
+let service_port t = t.service
+let fs t = t.fs
+
+(* --- pager side --------------------------------------------------------- *)
+
+let on_init t _srv ~memory_object ~request ~name:_ =
+  match Hashtbl.find_opt t.by_object (Port.id memory_object) with
+  | None -> ()
+  | Some file ->
+    file.f_requests <- request :: file.f_requests;
+    (* Let the kernel keep file pages cached after unmapping: the heart
+       of the §9 claim (ablatable). *)
+    if t.enable_cache then Mos.cache t.srv ~request ~may_cache:true
+
+let on_data_request t _srv ~memory_object ~request ~offset ~length ~desired_access:_ =
+  match Hashtbl.find_opt t.by_object (Port.id memory_object) with
+  | None -> ()
+  | Some file -> (
+    let bs = Fs_layout.block_size t.fs in
+    let nblocks = (length + bs - 1) / bs in
+    let data = Bytes.make (nblocks * bs) '\000' in
+    let have_file = Fs_layout.exists t.fs file.f_name in
+    if not have_file then Mos.data_unavailable t.srv ~request ~offset ~size:length
+    else begin
+      for i = 0 to nblocks - 1 do
+        match Fs_layout.read_block t.fs file.f_name ~index:((offset / bs) + i) with
+        | Some b -> Bytes.blit b 0 data (i * bs) bs
+        | None -> () (* past EOF: zeroes *)
+      done;
+      Mos.data_provided t.srv ~request ~offset ~data ~lock_value:Prot.none
+    end)
+
+(* --- RPC side ----------------------------------------------------------- *)
+
+let reply_to t (msg : Message.t) items =
+  match msg.Message.header.reply with
+  | None -> ()
+  | Some reply -> (
+    match Syscalls.msg_send (server_task t) (Message.make ~msg_id:id_reply ~dest:reply items) with
+    | Ok () | Error _ -> ())
+
+let status_item ok detail =
+  let e = Codec.Enc.create () in
+  Codec.Enc.bool e ok;
+  Codec.Enc.string e detail;
+  Message.Data (Codec.Enc.to_bytes e)
+
+let get_file t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some f -> f
+  | None ->
+    let f_object = Mos.create_memory_object t.srv () in
+    let file = { f_name = name; f_object; f_requests = []; f_mapping = None } in
+    Hashtbl.replace t.by_object (Port.id f_object) file;
+    Hashtbl.replace t.by_name name file;
+    file
+
+(* The server maps the file's memory object into its own address space
+   once and keeps the mapping; replies transfer it copy-on-write. *)
+let server_mapping t file ~size =
+  match file.f_mapping with
+  | Some (addr, msize) when msize >= size -> addr
+  | other ->
+    (match other with
+    | Some (addr, msize) -> Syscalls.vm_deallocate (server_task t) ~addr ~size:msize
+    | None -> ());
+    let addr =
+      Syscalls.vm_allocate_with_pager (server_task t) ~size ~anywhere:true
+        ~memory_object:file.f_object ~offset:0 ()
+    in
+    file.f_mapping <- Some (addr, size);
+    addr
+
+let handle_read_file t msg name =
+  if not (Fs_layout.exists t.fs name) then reply_to t msg [ status_item false "no such file" ]
+  else begin
+    let size = Option.value ~default:0 (Fs_layout.file_size t.fs name) in
+    let file = get_file t name in
+    if size = 0 then
+      reply_to t msg
+        [
+          status_item true "";
+          Message.Data
+            (let e = Codec.Enc.create () in
+             Codec.Enc.int e 0;
+             Codec.Enc.to_bytes e);
+        ]
+    else begin
+      let addr = server_mapping t file ~size in
+      let size_item =
+        let e = Codec.Enc.create () in
+        Codec.Enc.int e size;
+        Message.Data (Codec.Enc.to_bytes e)
+      in
+      reply_to t msg
+        [ status_item true ""; size_item; Syscalls.ool_region (server_task t) ~addr ~size ]
+    end
+  end
+
+let handle_write_file t msg name data =
+  match Fs_layout.write_file t.fs name data with
+  | exception Fs_layout.Fs_error reason -> reply_to t msg [ status_item false reason ]
+  | () ->
+    (match Hashtbl.find_opt t.by_name name with
+    | Some file ->
+      (* Invalidate stale cached pages everywhere this object is known. *)
+      let len = max (Bytes.length data) 1 in
+      List.iter
+        (fun request -> Mos.flush_request t.srv ~request ~offset:0 ~length:len)
+        file.f_requests
+    | None -> ());
+    reply_to t msg [ status_item true "" ]
+
+(* Hand the client the memory object itself: mapping it with
+   vm_allocate_with_pager gives direct read/write access to the file
+   object, not a copy (the paper's footnote 7). *)
+let handle_open_object t msg name =
+  if not (Fs_layout.exists t.fs name) then reply_to t msg [ status_item false "no such file" ]
+  else begin
+    let size = Option.value ~default:0 (Fs_layout.file_size t.fs name) in
+    let file = get_file t name in
+    let size_item =
+      let e = Codec.Enc.create () in
+      Codec.Enc.int e size;
+      Message.Data (Codec.Enc.to_bytes e)
+    in
+    reply_to t msg
+      [
+        status_item true "";
+        Message.Caps [ { Message.cap_port = file.f_object; cap_right = Message.Send_right } ];
+        size_item;
+      ]
+  end
+
+let handle_list t msg =
+  let files = Fs_layout.list_files t.fs in
+  let e = Codec.Enc.create () in
+  Codec.Enc.int e (List.length files);
+  List.iter (fun f -> Codec.Enc.string e f) files;
+  reply_to t msg [ status_item true ""; Message.Data (Codec.Enc.to_bytes e) ]
+
+let on_other t _srv (msg : Message.t) =
+  let id = msg.Message.header.msg_id in
+  match Message.data_exn msg with
+  | exception Not_found -> ()
+  | payload -> (
+    let d = Codec.Dec.of_bytes payload in
+    try
+      if id = id_read_file then handle_read_file t msg (Codec.Dec.string d)
+      else if id = id_write_file then begin
+        let name = Codec.Dec.string d in
+        let data = Codec.Dec.bytes d in
+        handle_write_file t msg name data
+      end
+      else if id = id_list_files then handle_list t msg
+      else if id = id_open_object then handle_open_object t msg (Codec.Dec.string d)
+      else reply_to t msg [ status_item false "unknown operation" ]
+    with
+    | Codec.Dec.Truncated -> reply_to t msg [ status_item false "malformed request" ]
+    | Fs_layout.Fs_error reason -> reply_to t msg [ status_item false reason ])
+
+let start kernel ?(name = "fs-server") ?(enable_cache = true) ?(service_threads = 1) ~disk ~format
+    () =
+  let srv_task = Task.create kernel ~name () in
+  let fs = if format then Fs_layout.format disk ~max_files:256 else Fs_layout.mount disk in
+  let service_name = Syscalls.port_allocate srv_task ~backlog:128 () in
+  Syscalls.port_enable srv_task service_name;
+  let service = Port_space.lookup_exn (Task.space srv_task) service_name in
+  let t_ref = ref None in
+  let get () = match !t_ref with Some t -> t | None -> assert false in
+  let callbacks =
+    {
+      Mos.no_callbacks with
+      Mos.on_init = (fun srv ~memory_object ~request ~name -> on_init (get ()) srv ~memory_object ~request ~name);
+      Mos.on_data_request =
+        (fun srv ~memory_object ~request ~offset ~length ~desired_access ->
+          on_data_request (get ()) srv ~memory_object ~request ~offset ~length ~desired_access);
+      Mos.on_other = (fun srv msg -> on_other (get ()) srv msg);
+    }
+  in
+  let srv = Mos.start ~service_threads srv_task callbacks in
+  let t =
+    { srv; fs; service; by_object = Hashtbl.create 64; by_name = Hashtbl.create 64; enable_cache }
+  in
+  t_ref := Some t;
+  t
+
+(* --- client ------------------------------------------------------------- *)
+
+module Client = struct
+  type error = [ `No_such_file | `Server_error of string | `Ipc_failure ]
+
+  let pp_error fmt = function
+    | `No_such_file -> Format.fprintf fmt "no such file"
+    | `Server_error s -> Format.fprintf fmt "server error: %s" s
+    | `Ipc_failure -> Format.fprintf fmt "ipc failure"
+
+  let rpc task ~server ~msg_id payload extra_items =
+    let reply_name = Syscalls.port_allocate task () in
+    let reply_port = Port_space.lookup_exn (Task.space task) reply_name in
+    let msg =
+      Message.make ~reply:reply_port ~msg_id ~dest:server (Message.Data payload :: extra_items)
+    in
+    let result = Syscalls.msg_rpc task msg () in
+    Syscalls.port_deallocate task reply_name;
+    match result with
+    | Ok reply -> Ok reply
+    | Error _ -> Error `Ipc_failure
+
+  let parse_status (reply : Message.t) =
+    match reply.Message.body with
+    | Message.Data status :: rest -> (
+      let d = Codec.Dec.of_bytes status in
+      let ok = Codec.Dec.bool d in
+      let detail = Codec.Dec.string d in
+      if ok then Ok rest
+      else if detail = "no such file" then Error `No_such_file
+      else Error (`Server_error detail))
+    | _ -> Error (`Server_error "malformed reply")
+
+  let read_file task ~server name =
+    let e = Codec.Enc.create () in
+    Codec.Enc.string e name;
+    match rpc task ~server ~msg_id:id_read_file (Codec.Enc.to_bytes e) [] with
+    | Error _ as err -> err
+    | Ok reply -> (
+      match parse_status reply with
+      | Error _ as err -> err
+      | Ok rest -> (
+        match rest with
+        | Message.Data size_b :: _ -> (
+          let d = Codec.Dec.of_bytes size_b in
+          let size = Codec.Dec.int d in
+          if size = 0 then Ok (0, 0)
+          else
+            match Syscalls.map_ool task reply with
+            | [ (addr, _) ] -> Ok (addr, size)
+            | _ -> Error (`Server_error "missing mapped data"))
+        | _ -> Error (`Server_error "malformed reply")))
+
+  let map_file task ~server name =
+    let e = Codec.Enc.create () in
+    Codec.Enc.string e name;
+    match rpc task ~server ~msg_id:id_open_object (Codec.Enc.to_bytes e) [] with
+    | Error _ as err -> err
+    | Ok reply -> (
+      match parse_status reply with
+      | Error _ as err -> err
+      | Ok (Message.Caps [ cap ] :: Message.Data size_b :: _) ->
+        let d = Codec.Dec.of_bytes size_b in
+        let size = Codec.Dec.int d in
+        if size = 0 then Ok (0, 0)
+        else
+          let addr =
+            Syscalls.vm_allocate_with_pager task ~size ~anywhere:true
+              ~memory_object:cap.Message.cap_port ~offset:0 ()
+          in
+          Ok (addr, size)
+      | Ok _ -> Error (`Server_error "malformed reply"))
+
+  let write_file task ~server name data =
+    let e = Codec.Enc.create () in
+    Codec.Enc.string e name;
+    Codec.Enc.bytes e data;
+    match rpc task ~server ~msg_id:id_write_file (Codec.Enc.to_bytes e) [] with
+    | Error _ as err -> err
+    | Ok reply -> (
+      match parse_status reply with Ok _ -> Ok () | Error _ as err -> err)
+
+  let list_files task ~server =
+    let e = Codec.Enc.create () in
+    Codec.Enc.string e "";
+    match rpc task ~server ~msg_id:id_list_files (Codec.Enc.to_bytes e) [] with
+    | Error _ as err -> err
+    | Ok reply -> (
+      match parse_status reply with
+      | Error _ as err -> err
+      | Ok (Message.Data listing :: _) ->
+        let d = Codec.Dec.of_bytes listing in
+        let n = Codec.Dec.int d in
+        Ok (List.init n (fun _ -> Codec.Dec.string d))
+      | Ok _ -> Error (`Server_error "malformed reply"))
+end

@@ -1,0 +1,68 @@
+(** The §4.1 minimal filesystem: a user-level server with
+    read-whole-file / write-whole-file semantics built on the external
+    memory management interface.
+
+    [fs_read_file] returns new virtual memory, mapped copy-on-write into
+    the client's address space; the client's changes are private until
+    an explicit [fs_write_file]. The server is the data manager of one
+    memory object per file: client page faults become
+    [pager_data_request] messages answered from disk, and because the
+    server permits caching ([pager_cache true]), file pages stay in the
+    kernel's physical memory cache across uses — the §9 performance
+    claim. The server never receives [pager_data_write] (client changes
+    never reach the file object). *)
+
+open Mach_kernel.Ktypes
+
+type t
+
+val start :
+  kernel ->
+  ?name:string ->
+  ?enable_cache:bool ->
+  ?service_threads:int ->
+  disk:Mach_hw.Disk.t ->
+  format:bool ->
+  unit ->
+  t
+(** Spawn the filesystem server task on [kernel]. [format] initialises
+    the disk; otherwise an existing filesystem is mounted.
+    [enable_cache] (default true) controls whether the server issues
+    [pager_cache true] — switching it off removes the kernel's
+    permission to keep file pages cached after unmapping, which is the
+    §9 ablation. *)
+
+val service_port : t -> Mach_ipc.Message.port
+(** Where clients send requests (hand this to client tasks). *)
+
+val server_task : t -> task
+val fs : t -> Mach_fs.Fs_layout.t
+(** Direct access to the underlying layout (tests and workload setup —
+    bypasses the server and charges disk time to the caller). *)
+
+(** {2 Client library (the paper's [fs_read_file] / [fs_write_file])} *)
+
+module Client : sig
+  type error = [ `No_such_file | `Server_error of string | `Ipc_failure ]
+
+  val pp_error : Format.formatter -> error -> unit
+
+  val read_file :
+    task -> server:Mach_ipc.Message.port -> string -> (int * int, error) result
+  (** [read_file task ~server name] returns [(address, size)]: the file
+      contents newly mapped (copy-on-write) into [task]'s address
+      space. The client should [vm_deallocate] when done (§4.1). *)
+
+  val map_file :
+    task -> server:Mach_ipc.Message.port -> string -> (int * int, error) result
+  (** Map the file's memory object directly ([vm_allocate_with_pager]):
+      read/write access to the object itself, not a copy — the paper's
+      footnote 7 distinction from {!read_file}. *)
+
+  val write_file :
+    task -> server:Mach_ipc.Message.port -> string -> bytes -> (unit, error) result
+  (** Store back whole-file contents (creating the file); invalidates
+      cached pages of the file's memory object everywhere. *)
+
+  val list_files : task -> server:Mach_ipc.Message.port -> (string list, error) result
+end

@@ -1,0 +1,51 @@
+(** Consistent network shared memory (§4.2).
+
+    A data manager serving one memory object to clients on multiple
+    hosts with independent Mach kernels. Coherence follows the
+    single-writer / multiple-reader invalidation protocol of the
+    paper's walkthrough (after Li & Hudak):
+
+    - read faults are answered with the data write-locked
+      ([pager_data_provided] with a write lock value);
+    - a write fault or upgrade triggers [pager_flush_request] to every
+      other kernel caching the page; dirty copies come back as
+      [pager_data_write]; once every invalidation is confirmed, the
+      writer is granted access ([pager_data_lock] with no lock, or a
+      fresh unlocked [pager_data_provided]).
+
+    The server records each kernel by the pager request port it
+    presented in [pager_init], exactly as §3.4.1 prescribes. *)
+
+open Mach_kernel.Ktypes
+
+type t
+
+val start : kernel -> ?name:string -> unit -> t
+(** Spawn the shared memory server task on [kernel] (clients may live
+    on any host of the cluster). *)
+
+val server_task : t -> task
+
+val create_region : t -> size:int -> Mach_ipc.Message.port
+(** Allocate a shared-memory region; returns its memory object, which
+    any client task maps with [vm_allocate_with_pager] (how clients
+    learn the port — a name service — is out of scope, as in the
+    paper's example). *)
+
+val write_initial : t -> region:Mach_ipc.Message.port -> offset:int -> bytes -> unit
+(** Seed region contents before clients attach. *)
+
+val read_authoritative : t -> region:Mach_ipc.Message.port -> offset:int -> len:int -> bytes
+(** The server's current authoritative bytes (for tests: pages checked
+    out to a writer may be newer in that kernel's cache). *)
+
+(** {2 Introspection (tests, benches)} *)
+
+type page_view = [ `Idle | `Readers of int | `Writer ]
+
+val page_state : t -> region:Mach_ipc.Message.port -> page:int -> page_view
+val invalidations : t -> int
+(** Total flush requests issued. *)
+
+val grants : t -> int
+(** Total write grants issued. *)

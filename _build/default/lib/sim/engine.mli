@@ -1,0 +1,60 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated threads are OCaml-5 effect-based coroutines: a thread is an
+    ordinary function that may call the blocking operations of this module
+    ({!sleep}) and of the synchronisation modules ({!Ivar}, {!Mailbox},
+    {!Semaphore}, {!Waitq}). Blocking suspends the coroutine and registers
+    a wake-up; the engine runs ready events in (time, sequence) order, so a
+    run is fully deterministic.
+
+    Simulated time is in microseconds (float). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in microseconds. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] schedules a new simulated thread to start at the current
+    time. May be called from inside or outside a running thread. An
+    uncaught exception in [f] aborts the whole run ({!run} re-raises). *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Low-level: run a callback (not a coroutine — it must not block) at the
+    given absolute time. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue is empty or simulated time would exceed
+    [until]. Returns normally on quiescence; re-raises the first exception
+    escaping a thread. *)
+
+val live : t -> int
+(** Number of spawned threads that have not yet finished. If [run]
+    returned and [live t > 0], those threads are blocked forever —
+    a deadlock or a wait on an external wake-up that never came. *)
+
+val blocked_names : t -> string list
+(** Names of currently-suspended threads (diagnostic, sorted). *)
+
+val self_name : unit -> string
+(** Name of the calling simulated thread. *)
+
+val sleep : float -> unit
+(** Block the calling thread for the given number of simulated
+    microseconds. Must be called from inside a thread. *)
+
+val yield : unit -> unit
+(** Re-schedule the calling thread at the current time, letting other
+    ready threads run first. *)
+
+(** {2 Internal plumbing for synchronisation primitives} *)
+
+type 'a resumer = 'a -> unit
+(** Resuming schedules the suspended thread at the current simulated time.
+    Must be called at most once. *)
+
+val suspend : (t -> 'a resumer -> unit) -> 'a
+(** [suspend register] blocks the calling thread; [register] receives the
+    engine and a one-shot resumer. *)

@@ -1,0 +1,1 @@
+lib/unixemu/unix_emu.ml: Bytes Format Hashtbl Mach_ipc Mach_kernel Mach_pagers Mach_vm Printf

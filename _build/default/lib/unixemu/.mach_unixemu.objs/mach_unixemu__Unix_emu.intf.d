@@ -1,0 +1,1 @@
+lib/unixemu/unix_emu.mli: Mach_ipc Mach_kernel

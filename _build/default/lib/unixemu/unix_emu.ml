@@ -1,0 +1,140 @@
+open Mach_kernel.Ktypes
+module Syscalls = Mach_kernel.Syscalls
+module Minimal_fs = Mach_pagers.Minimal_fs
+
+exception Unix_error of string
+
+type fd = int
+
+(* An open file: the mapped image plus bookkeeping. Several descriptors
+   may share one open file (dup). *)
+type open_file = {
+  of_name : string;
+  mutable addr : int;
+  mutable size : int;  (** current logical size *)
+  mutable mapped : int;  (** bytes of mapping at [addr] (0 = none) *)
+  mutable pos : int;
+  mutable dirty : bool;
+  mutable refs : int;
+}
+
+type t = {
+  task : task;
+  server : Mach_ipc.Message.port;
+  fds : (fd, open_file) Hashtbl.t;
+  mutable next_fd : fd;
+}
+
+let init task ~server = { task; server; fds = Hashtbl.create 16; next_fd = 3 }
+let page = 4096
+
+let file_exn t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some f -> f
+  | None -> raise (Unix_error (Printf.sprintf "bad file descriptor %d" fd))
+
+let fresh_fd t =
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  fd
+
+let openf t ?(create = false) name =
+  match Minimal_fs.Client.read_file t.task ~server:t.server name with
+  | Ok (addr, size) ->
+    let fd = fresh_fd t in
+    Hashtbl.replace t.fds fd
+      { of_name = name; addr; size; mapped = (if size = 0 then 0 else size); pos = 0;
+        dirty = false; refs = 1 };
+    fd
+  | Error `No_such_file when create -> (
+    match Minimal_fs.Client.write_file t.task ~server:t.server name Bytes.empty with
+    | Ok () ->
+      let fd = fresh_fd t in
+      Hashtbl.replace t.fds fd
+        { of_name = name; addr = 0; size = 0; mapped = 0; pos = 0; dirty = false; refs = 1 };
+      fd
+    | Error e -> raise (Unix_error (Format.asprintf "create: %a" Minimal_fs.Client.pp_error e)))
+  | Error e -> raise (Unix_error (Format.asprintf "open %s: %a" name Minimal_fs.Client.pp_error e))
+
+let mem_read t f ~off ~len =
+  match Syscalls.read_bytes t.task ~addr:(f.addr + off) ~len () with
+  | Ok b -> b
+  | Error e -> raise (Unix_error (Format.asprintf "read fault: %a" Mach_vm.Access.pp_error e))
+
+let mem_write t f ~off data =
+  match Syscalls.write_bytes t.task ~addr:(f.addr + off) data () with
+  | Ok () -> ()
+  | Error e -> raise (Unix_error (Format.asprintf "write fault: %a" Mach_vm.Access.pp_error e))
+
+let read t fd len =
+  let f = file_exn t fd in
+  let len = min len (f.size - f.pos) in
+  if len <= 0 then Bytes.empty
+  else begin
+    let b = mem_read t f ~off:f.pos ~len in
+    f.pos <- f.pos + len;
+    b
+  end
+
+(* Grow the mapping to hold [needed] bytes (whole-file remap: the §4.1
+   server has read-whole/write-whole semantics). *)
+let ensure_capacity t f needed =
+  if needed > f.mapped then begin
+    let new_cap = max needed (max page (2 * f.mapped)) in
+    let fresh = Syscalls.vm_allocate t.task ~size:new_cap ~anywhere:true () in
+    if f.size > 0 && f.mapped > 0 then begin
+      let old = mem_read t f ~off:0 ~len:f.size in
+      match Syscalls.write_bytes t.task ~addr:fresh old () with
+      | Ok () -> ()
+      | Error e -> raise (Unix_error (Format.asprintf "remap: %a" Mach_vm.Access.pp_error e))
+    end;
+    if f.mapped > 0 then Syscalls.vm_deallocate t.task ~addr:f.addr ~size:f.mapped;
+    f.addr <- fresh;
+    f.mapped <- new_cap
+  end
+
+let write t fd data =
+  let f = file_exn t fd in
+  let len = Bytes.length data in
+  if len > 0 then begin
+    ensure_capacity t f (f.pos + len);
+    mem_write t f ~off:f.pos data;
+    f.pos <- f.pos + len;
+    if f.pos > f.size then f.size <- f.pos;
+    f.dirty <- true
+  end;
+  len
+
+let lseek t fd offset whence =
+  let f = file_exn t fd in
+  let base = match whence with `Set -> 0 | `Cur -> f.pos | `End -> f.size in
+  let target = base + offset in
+  if target < 0 then raise (Unix_error "lseek before start of file");
+  f.pos <- target;
+  target
+
+let fstat_size t fd = (file_exn t fd).size
+
+let dup t fd =
+  let f = file_exn t fd in
+  f.refs <- f.refs + 1;
+  let fd2 = fresh_fd t in
+  Hashtbl.replace t.fds fd2 f;
+  fd2
+
+let close t fd =
+  let f = file_exn t fd in
+  Hashtbl.remove t.fds fd;
+  f.refs <- f.refs - 1;
+  if f.refs = 0 then begin
+    if f.dirty && f.size > 0 then begin
+      let contents = mem_read t f ~off:0 ~len:f.size in
+      match Minimal_fs.Client.write_file t.task ~server:t.server f.of_name contents with
+      | Ok () -> ()
+      | Error e ->
+        raise (Unix_error (Format.asprintf "close writeback: %a" Minimal_fs.Client.pp_error e))
+    end;
+    if f.mapped > 0 then Syscalls.vm_deallocate t.task ~addr:f.addr ~size:f.mapped
+  end
+
+let open_fds t = Hashtbl.length t.fds

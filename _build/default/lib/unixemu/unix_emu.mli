@@ -1,0 +1,49 @@
+(** §8.1: emulating the UNIX filesystem interface outside the kernel.
+
+    "UNIX filesystem I/O can be emulated by a library package that maps
+    open and close calls to a filesystem server task. An open call would
+    result in the file being mapped into memory. Subsequent read and
+    write calls would operate directly on virtual memory."
+
+    This is that library package: a user-state file-descriptor layer
+    over the §4.1 filesystem server. No kernel buffer cache, no copyin
+    of file data through `read(2)` — reads and writes touch the mapped
+    pages, which the external pager fills from disk on demand and the
+    kernel keeps cached. *)
+
+open Mach_kernel.Ktypes
+
+type t
+(** The per-task emulation state (a descriptor table). *)
+
+type fd = int
+
+exception Unix_error of string
+
+val init : task -> server:Mach_ipc.Message.port -> t
+(** Bind the library to a task and a filesystem server. *)
+
+val openf : t -> ?create:bool -> string -> fd
+(** Open (optionally creating) a file; maps it into the task's address
+    space. Raises {!Unix_error} if absent and [create] is false. *)
+
+val close : t -> fd -> unit
+(** Write back if dirty (whole-file store, §4.1 semantics), unmap, and
+    release the descriptor. *)
+
+val read : t -> fd -> int -> bytes
+(** Read up to [len] bytes at the descriptor offset, advancing it.
+    Short reads at EOF; empty at or past EOF. *)
+
+val write : t -> fd -> bytes -> int
+(** Write at the descriptor offset, advancing it and growing the file
+    if needed; returns the byte count. *)
+
+val lseek : t -> fd -> int -> [ `Set | `Cur | `End ] -> int
+(** Reposition; returns the new offset. *)
+
+val fstat_size : t -> fd -> int
+val dup : t -> fd -> fd
+(** A new descriptor sharing the same open file (and offset). *)
+
+val open_fds : t -> int

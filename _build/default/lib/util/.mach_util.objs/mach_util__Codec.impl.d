@@ -1,0 +1,1 @@
+lib/util/codec.ml: Buffer Bytes Int64 String

@@ -1,0 +1,74 @@
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 t v = Buffer.add_uint8 t (v land 0xff)
+  let u16 t v = Buffer.add_uint16_le t (v land 0xffff)
+
+  let u32 t v =
+    Buffer.add_uint16_le t (v land 0xffff);
+    Buffer.add_uint16_le t ((v lsr 16) land 0xffff)
+
+  let i64 t v = Buffer.add_int64_le t v
+  let int t v = i64 t (Int64.of_int v)
+  let bool t v = u8 t (if v then 1 else 0)
+  let float t v = i64 t (Int64.bits_of_float v)
+
+  let bytes t b =
+    u32 t (Bytes.length b);
+    Buffer.add_bytes t b
+
+  let string t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let to_bytes t = Buffer.to_bytes t
+end
+
+module Dec = struct
+  type t = { data : bytes; mutable pos : int }
+
+  exception Truncated
+  exception Trailing_garbage
+
+  let of_bytes data = { data; pos = 0 }
+
+  let need t n = if t.pos + n > Bytes.length t.data then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Bytes.get_uint8 t.data t.pos in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = Bytes.get_uint16_le t.data t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    let lo = u16 t in
+    let hi = u16 t in
+    lo lor (hi lsl 16)
+
+  let i64 t =
+    need t 8;
+    let v = Bytes.get_int64_le t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int t = Int64.to_int (i64 t)
+  let bool t = u8 t <> 0
+  let float t = Int64.float_of_bits (i64 t)
+
+  let bytes t =
+    let len = u32 t in
+    need t len;
+    let b = Bytes.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    b
+
+  let string t = Bytes.to_string (bytes t)
+  let finish t = if t.pos <> Bytes.length t.data then raise Trailing_garbage
+end

@@ -1,0 +1,48 @@
+(** Explicit binary encoding for message payloads.
+
+    The external pager protocol (Tables 3-4/3-5/3-6) is carried over the
+    ordinary IPC transport as typed byte payloads; this module is the
+    hand-written equivalent of the Mach Interface Generator's marshalling.
+    The format is little-endian and self-delimiting for variable-size
+    fields. *)
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val i64 : t -> int64 -> unit
+  val int : t -> int -> unit
+  (** 63-bit OCaml int as a signed 64-bit field. *)
+
+  val bool : t -> bool -> unit
+  val float : t -> float -> unit
+  val bytes : t -> bytes -> unit
+  (** Length-prefixed. *)
+
+  val string : t -> string -> unit
+  val to_bytes : t -> bytes
+end
+
+module Dec : sig
+  type t
+
+  exception Truncated
+  exception Trailing_garbage
+
+  val of_bytes : bytes -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val int : t -> int
+  val bool : t -> bool
+  val float : t -> float
+  val bytes : t -> bytes
+  val string : t -> string
+
+  val finish : t -> unit
+  (** Assert all input was consumed; raises {!Trailing_garbage} otherwise. *)
+end

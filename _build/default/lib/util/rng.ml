@@ -1,0 +1,100 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used only to expand the seed into xoshiro state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) land max_int in
+  create seed
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits mapped to [0, 1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+(* Zipf via the standard power-law inversion approximation: accurate enough
+   for workload skew and requires no O(n) table. *)
+let zipf t ~n ~theta =
+  assert (n > 0);
+  if n = 1 then 0
+  else begin
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let zetan =
+      (* Two-point approximation of the generalized harmonic number. *)
+      let z = ref 0.0 in
+      let steps = min n 10_000 in
+      for i = 1 to steps do
+        z := !z +. (1.0 /. Float.pow (float_of_int i) theta)
+      done;
+      if n > steps then
+        !z +. (Float.pow (float_of_int n) (1.0 -. theta) -. Float.pow (float_of_int steps) (1.0 -. theta)) /. (1.0 -. theta)
+      else !z
+    in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (1.0 +. Float.pow 2.0 (-.theta)) /. zetan)
+    in
+    let u = float t 1.0 in
+    let uz = u *. zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 theta then 1
+    else
+      let r = int_of_float (float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.0) alpha) in
+      if r >= n then n - 1 else if r < 0 then 0 else r
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

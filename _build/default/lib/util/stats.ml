@@ -1,0 +1,110 @@
+type t = {
+  mutable samples : float list;
+  mutable sorted : float array option; (* cache, invalidated on add *)
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { samples = []; sorted = None; n = 0; sum = 0.0; sum_sq = 0.0; mn = infinity; mx = neg_infinity }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.sorted <- None;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let m = mean t in
+    let v = (t.sum_sq /. float_of_int t.n) -. (m *. m) in
+    if v <= 0.0 then 0.0 else sqrt v
+
+let min t = if t.n = 0 then 0.0 else t.mn
+let max t = if t.n = 0 then 0.0 else t.mx
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let a = sorted t in
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then a.(lo)
+    else
+      let w = rank -. float_of_int lo in
+      (a.(lo) *. (1.0 -. w)) +. (a.(hi) *. w)
+  end
+
+let median t = percentile t 50.0
+
+module Histogram = struct
+  type h = { lo : float; hi : float; counts : int array }
+
+  let create ~lo ~hi ~buckets =
+    assert (buckets > 0 && hi > lo);
+    { lo; hi; counts = Array.make buckets 0 }
+
+  let add h x =
+    let buckets = Array.length h.counts in
+    let idx =
+      if x <= h.lo then 0
+      else if x >= h.hi then buckets - 1
+      else int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int buckets)
+    in
+    let idx = Stdlib.min (buckets - 1) (Stdlib.max 0 idx) in
+    h.counts.(idx) <- h.counts.(idx) + 1
+
+  let bucket_count h i = h.counts.(i)
+
+  let render h ~width =
+    let buckets = Array.length h.counts in
+    let peak = Array.fold_left Stdlib.max 1 h.counts in
+    let buf = Buffer.create 256 in
+    for i = 0 to buckets - 1 do
+      let bucket_lo = h.lo +. ((h.hi -. h.lo) *. float_of_int i /. float_of_int buckets) in
+      let bar = h.counts.(i) * width / peak in
+      Buffer.add_string buf (Printf.sprintf "%12.2f | %s %d\n" bucket_lo (String.make bar '#') h.counts.(i))
+    done;
+    Buffer.contents buf
+end
+
+module Counters = struct
+  type c = (string, int ref) Hashtbl.t
+
+  let create () : c = Hashtbl.create 32
+
+  let incr c ?(by = 1) name =
+    match Hashtbl.find_opt c name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add c name (ref by)
+
+  let get c name = match Hashtbl.find_opt c name with Some r -> !r | None -> 0
+
+  let to_list c =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let reset c = Hashtbl.reset c
+end

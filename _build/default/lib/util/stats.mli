@@ -1,0 +1,48 @@
+(** Running statistics and sample collections for experiment reporting. *)
+
+type t
+(** A sample accumulator retaining every observation (for percentiles). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the samples; 0 when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0 when fewer than two samples. *)
+
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], linear interpolation.
+    0 when empty. *)
+
+val median : t -> float
+
+(** Fixed-bucket histogram. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  val add : h -> float -> unit
+  val bucket_count : h -> int -> int
+  val render : h -> width:int -> string
+  (** ASCII rendering, one line per bucket. *)
+end
+
+(** Monotonic counters keyed by name, for kernel statistics
+    (vm_statistics-style reporting). *)
+module Counters : sig
+  type c
+
+  val create : unit -> c
+  val incr : c -> ?by:int -> string -> unit
+  val get : c -> string -> int
+  val to_list : c -> (string * int) list
+  (** Sorted by name. *)
+
+  val reset : c -> unit
+end

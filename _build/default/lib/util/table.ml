@@ -1,0 +1,43 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let rowf t fmt =
+  Printf.ksprintf (fun s -> row t (List.map String.trim (String.split_on_char '|' s))) fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left (fun w r -> Stdlib.max w (String.length (List.nth r i))) (String.length col) rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line sep = "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) sep) widths) ^ "+" in
+  let render_row cells =
+    "| " ^ String.concat " | " (List.map2 pad cells widths) ^ " |"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (render_row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print t = print_string (render t)

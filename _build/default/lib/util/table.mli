@@ -1,0 +1,18 @@
+(** ASCII table rendering for experiment output.
+
+    Every bench target prints its results as one of these tables so that
+    bench output can be diffed against EXPERIMENTS.md. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [rowf t fmt ...] formats a single string and splits it on ['|'] into
+    cells, trimming whitespace. Convenient for numeric rows. *)
+
+val render : t -> string
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/vm/access.ml: Bytes Fault Format Kctx Mach_hw Vm_map

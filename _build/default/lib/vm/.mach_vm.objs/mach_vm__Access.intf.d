@@ -1,0 +1,1 @@
+lib/vm/access.mli: Fault Format Kctx Mach_hw Vm_map

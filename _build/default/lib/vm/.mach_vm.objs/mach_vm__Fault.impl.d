@@ -1,0 +1,1 @@
+lib/vm/fault.ml: Hashtbl Kctx Mach_hw Mach_sim Page_queues Pager_client Vm_map Vm_object Vm_page Vm_types

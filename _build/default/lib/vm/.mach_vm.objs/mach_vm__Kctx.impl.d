@@ -1,0 +1,1 @@
+lib/vm/kctx.ml: Hashtbl List Mach_hw Mach_ipc Mach_sim Page_queues Vm_types

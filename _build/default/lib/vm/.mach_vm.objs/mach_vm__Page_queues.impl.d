@@ -1,0 +1,1 @@
+lib/vm/page_queues.ml: List Mach_util Option Vm_types

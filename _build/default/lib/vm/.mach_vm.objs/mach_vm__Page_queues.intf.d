@@ -1,0 +1,1 @@
+lib/vm/page_queues.mli: Vm_types

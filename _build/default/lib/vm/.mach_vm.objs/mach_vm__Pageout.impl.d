@@ -1,0 +1,1 @@
+lib/vm/pageout.ml: Kctx Mach_hw Mach_sim Page_queues Pager_client Vm_page Vm_types

@@ -1,0 +1,1 @@
+lib/vm/pager_client.ml: Bytes Hashtbl Kctx List Logs Mach_hw Mach_ipc Mach_sim Page_queues Pager_iface Vm_object Vm_page Vm_types

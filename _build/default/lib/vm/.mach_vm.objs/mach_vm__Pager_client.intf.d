@@ -1,0 +1,1 @@
+lib/vm/pager_client.mli: Kctx Mach_hw Mach_ipc Vm_types

@@ -1,0 +1,1 @@
+lib/vm/pager_iface.ml: List Mach_hw Mach_ipc Mach_util Printf

@@ -1,0 +1,1 @@
+lib/vm/pager_iface.mli: Mach_hw Mach_ipc

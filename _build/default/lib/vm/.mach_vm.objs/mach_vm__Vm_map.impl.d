@@ -1,0 +1,1 @@
+lib/vm/vm_map.ml: Hashtbl Kctx List Mach_hw Printf Vm_object Vm_page Vm_types

@@ -1,0 +1,1 @@
+lib/vm/vm_map.mli: Kctx Mach_hw Vm_types

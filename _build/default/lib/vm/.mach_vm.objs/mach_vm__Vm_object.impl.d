@@ -1,0 +1,1 @@
+lib/vm/vm_object.ml: Format Hashtbl Kctx List Mach_ipc Mach_sim Vm_page Vm_types

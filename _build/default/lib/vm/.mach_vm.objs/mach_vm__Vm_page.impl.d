@@ -1,0 +1,1 @@
+lib/vm/vm_page.ml: Hashtbl Kctx List Mach_hw Mach_sim Page_queues Vm_types

@@ -1,0 +1,1 @@
+lib/vm/vm_page.mli: Kctx Mach_hw Vm_types

@@ -1,0 +1,1 @@
+lib/vm/vm_types.ml: Hashtbl Mach_hw Mach_ipc Mach_sim Mach_util

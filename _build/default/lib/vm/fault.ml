@@ -1,0 +1,197 @@
+open Vm_types
+module Engine = Mach_sim.Engine
+module Waitq = Mach_sim.Waitq
+module Prot = Mach_hw.Prot
+module Pmap = Mach_hw.Pmap
+module Phys_mem = Mach_hw.Phys_mem
+module Machine = Mach_hw.Machine
+
+type policy = Wait_forever | Abort_after of float | Zero_fill_after of float
+type outcome = Done | Invalid_address | Protection_failure | Pager_error
+
+let handle kctx map ~addr ~write ?policy () =
+  let policy = match policy with Some p -> p | None -> Abort_after kctx.Kctx.pager_timeout_us in
+  let stats = kctx.Kctx.stats in
+  let ps = kctx.Kctx.page_size in
+  let engine = kctx.Kctx.engine in
+  stats.s_faults <- stats.s_faults + 1;
+  Kctx.charge kctx kctx.Kctx.params.Machine.fault_base_us;
+  (* Timed wait helper: false when the policy's deadline passes first.
+     Waits on the default pager are never aborted — it is "a trusted
+     system component" (§6.2.2), merely slow under load. *)
+  let wait_while page cond =
+    let trusted =
+      match page.p_obj.pager with Pager p -> p.is_default | No_pager -> false
+    in
+    match (if trusted then Wait_forever else policy) with
+    | Wait_forever ->
+      while cond () do
+        Waitq.wait page.busy_wait
+      done;
+      true
+    | Abort_after limit | Zero_fill_after limit ->
+      let deadline = Engine.now engine +. limit in
+      let rec loop () =
+        if not (cond ()) then true
+        else
+          let remaining = deadline -. Engine.now engine in
+          if remaining <= 0.0 then false
+          else begin
+            ignore (Waitq.wait_timeout page.busy_wait ~timeout:remaining);
+            loop ()
+          end
+      in
+      loop ()
+  in
+  let zero_fill_placeholder page =
+    (* Substitute zeroes for data the manager failed to deliver; any
+       late pager_data_provided for this page is dropped. *)
+    Phys_mem.fill kctx.Kctx.mem page.frame '\000';
+    page.absent <- false;
+    page.p_error <- false;
+    page.p_obj.paging_in_progress <- max 0 (page.p_obj.paging_in_progress - 1);
+    stats.s_zero_fill <- stats.s_zero_fill + 1;
+    Page_queues.activate kctx.Kctx.queues page;
+    Vm_page.set_unbusy page
+  in
+  let rec attempt tries ~soft =
+    if tries > 512 then Pager_error
+    else
+      match Vm_map.lookup map ~addr ~write with
+      | Error `Invalid_address -> Invalid_address
+      | Error `Protection -> Protection_failure
+      | Ok lk -> (
+        let first_obj = lk.Vm_map.lk_obj in
+        let first_off = lk.Vm_map.lk_offset in
+        match Vm_object.lookup_chain first_obj ~offset:first_off with
+        | Some (page, _owner, depth) ->
+          if page.busy then begin
+            (* Data in transit: wait and retry the whole fault. *)
+            if wait_while page (fun () -> page.busy) then attempt (tries + 1) ~soft:false
+            else
+              match policy with
+              | Zero_fill_after _ when page.absent ->
+                zero_fill_placeholder page;
+                attempt (tries + 1) ~soft:false
+              | _ -> Pager_error
+          end
+          else if page.p_error then begin
+            match policy with
+            | Zero_fill_after _ ->
+              zero_fill_placeholder page;
+              attempt (tries + 1) ~soft:false
+            | Wait_forever | Abort_after _ -> Pager_error
+          end
+          else begin
+            (* Manager-imposed lock (§3.4.1): if the lock forbids this
+               access, ask for an unlock and wait for pager_data_lock. *)
+            let still_resident () =
+              match Vm_page.lookup page.p_obj ~offset:page.p_offset with
+              | Some p -> p == page
+              | None -> false
+            in
+            let forbidden () =
+              (* The page may be flushed out from under us while we wait
+                 for the manager's unlock; a dead page ends the wait and
+                 the fault re-runs from scratch. *)
+              still_resident ()
+              && (if write then Prot.can_write page.page_lock else Prot.can_read page.page_lock)
+            in
+            if forbidden () then begin
+              let owner = page.p_obj in
+              (match owner.pager with
+              | Pager _ when not page.unlock_requested ->
+                page.unlock_requested <- true;
+                Pager_client.send_unlock kctx owner ~offset:page.p_offset ~length:ps
+                  ~desired_access:(if write then Prot.write else Prot.read)
+              | Pager _ | No_pager -> ());
+              if wait_while page forbidden then attempt (tries + 1) ~soft:false else Pager_error
+            end
+            else if depth > 0 && write then begin
+              (* Copy-on-write: the page lives in a backing object; give
+                 the first object its own copy (§5.5). *)
+              let frame = Kctx.alloc_frame kctx ~privileged:false in
+              (* The source may have been freed while we slept in
+                 alloc_frame; retry if so. *)
+              if page.busy || not (Hashtbl.mem page.p_obj.obj_pages page.p_offset) then begin
+                Kctx.free_frame kctx frame;
+                attempt (tries + 1) ~soft:false
+              end
+              else begin
+                Phys_mem.copy kctx.Kctx.mem ~src:page.frame ~dst:frame;
+                Kctx.charge kctx kctx.Kctx.params.Machine.page_copy_us;
+                let fresh =
+                  Vm_page.insert kctx first_obj ~offset:first_off ~frame ~busy:false ~absent:false
+                in
+                fresh.dirty <- true;
+                stats.s_cow_faults <- stats.s_cow_faults + 1;
+                Page_queues.activate kctx.Kctx.queues fresh;
+                (* Any stale read-only translation of the source page
+                   must refault so it resolves through its own chain
+                   (sharers of this object must see the new copy). *)
+                Vm_page.remove_all_mappings kctx page;
+                (* The classic chain-length optimisation: if the frozen
+                   object below is now only ours, merge it away. *)
+                Vm_object.collapse kctx first_obj;
+                validate fresh ~from_backing:false ~soft:false
+              end
+            end
+            else begin
+              if soft then stats.s_hits <- stats.s_hits + 1;
+              Page_queues.activate kctx.Kctx.queues page;
+              validate page ~from_backing:(depth > 0) ~soft
+            end
+          end
+        | None -> (
+          (* Not resident anywhere in the chain: ask the first pager in
+             the chain, or zero-fill. *)
+          match Vm_object.chain_has_pager first_obj ~offset:first_off with
+          | Some (powner, poffset) ->
+            let page = Pager_client.request_page kctx powner ~offset:poffset ~desired_access:(if write then Prot.rw else Prot.read) in
+            if wait_while page (fun () -> page.busy) then attempt (tries + 1) ~soft:false
+            else begin
+              match policy with
+              | Zero_fill_after _ ->
+                zero_fill_placeholder page;
+                attempt (tries + 1) ~soft:false
+              | Wait_forever | Abort_after _ ->
+                page.p_error <- true;
+                Pager_error
+            end
+          | None ->
+            let frame = Kctx.alloc_frame kctx ~privileged:false in
+            if Hashtbl.mem first_obj.obj_pages first_off then begin
+              (* Someone beat us to it while we waited for memory. *)
+              Kctx.free_frame kctx frame;
+              attempt (tries + 1) ~soft:false
+            end
+            else begin
+              let page =
+                Vm_page.insert kctx first_obj ~offset:first_off ~frame ~busy:false ~absent:false
+              in
+              stats.s_zero_fill <- stats.s_zero_fill + 1;
+              Page_queues.activate kctx.Kctx.queues page;
+              validate page ~from_backing:false ~soft:false
+            end))
+  and validate page ~from_backing ~soft =
+    ignore soft;
+    match Vm_map.pmap map with
+    | None -> invalid_arg "Fault.handle: map has no pmap"
+    | Some pm ->
+      (* Hardware validation: entry protection, minus write when the
+         page belongs to a backing object (a future write must fault to
+         copy), minus the manager's lock. *)
+      let lookup_again = Vm_map.lookup map ~addr ~write in
+      (match lookup_again with
+      | Ok lk ->
+        let prot = lk.Vm_map.lk_entry_prot in
+        let prot = if lk.Vm_map.lk_writable && not from_backing then prot else Prot.diff prot Prot.write in
+        let prot = Prot.diff prot page.page_lock in
+        let vpn = addr / ps in
+        Pmap.enter pm ~vpn ~frame:page.frame ~prot;
+        Vm_page.add_mapping page pm ~vpn;
+        Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us
+      | Error _ -> ());
+      Done
+  in
+  attempt 0 ~soft:true

@@ -1,0 +1,29 @@
+(** The page fault handler (§5.5).
+
+    Responsibilities, in the paper's order: validity and protection
+    (address map lookup), page lookup (resident hash, then the shadow
+    chain, then a [pager_data_request] to the data manager), copy-on-
+    write resolution, and hardware validation (pmap entry).
+
+    Waiting for an external data manager follows §6.2.1: the options for
+    communication failure apply to memory failure — wait forever, abort
+    after a timeout, or substitute zero-filled memory after a timeout. *)
+
+type policy =
+  | Wait_forever
+  | Abort_after of float  (** microseconds *)
+  | Zero_fill_after of float
+      (** §6.2.1 "providing (zero-filled) memory backed by the default
+          pager" *)
+
+type outcome =
+  | Done  (** translation validated; retry the access *)
+  | Invalid_address
+  | Protection_failure
+  | Pager_error  (** the data manager failed to provide data in time *)
+
+val handle :
+  Kctx.t -> Vm_map.t -> addr:int -> write:bool -> ?policy:policy -> unit -> outcome
+(** Handle a fault at [addr]. [policy] defaults to
+    [Abort_after kctx.pager_timeout_us]. The map must belong to [kctx]
+    and have a pmap. *)

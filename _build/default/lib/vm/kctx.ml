@@ -1,0 +1,126 @@
+open Vm_types
+module Engine = Mach_sim.Engine
+module Waitq = Mach_sim.Waitq
+module Phys_mem = Mach_hw.Phys_mem
+module Pmap = Mach_hw.Pmap
+module Port_space = Mach_ipc.Port_space
+
+type t = {
+  engine : Engine.t;
+  ctx : Mach_ipc.Context.t;
+  host : int;
+  params : Mach_hw.Machine.params;
+  mem : Phys_mem.t;
+  page_size : int;
+  node : Mach_ipc.Transport.node;
+  kspace : Port_space.t;
+  queues : Page_queues.t;
+  stats : stats;
+  objects_by_port : (int, obj) Hashtbl.t;
+  objects_by_request : (int, obj) Hashtbl.t;
+  mutable cached_objects : obj list;
+  mutable default_pager_port : port option;
+  mutable next_obj_id : int;
+  reserved_frames : int;
+  free_wait : Waitq.t;
+  pageout_wanted : Waitq.t;
+  mutable pager_timeout_us : float;
+  mutable data_write_release_timeout_us : float;
+  mutable obj_terminator : t -> obj -> unit;
+  holdings : (int, holding) Hashtbl.t;
+  mutable next_write_id : int;
+  mutable rescue_writer : (bytes -> unit) option;
+  mutable enable_collapse : bool;
+      (** merge single-referenced anonymous shadow chains (ablation A1) *)
+}
+
+let fresh_obj_id t =
+  let id = t.next_obj_id in
+  t.next_obj_id <- id + 1;
+  id
+
+let pages_of_bytes t bytes = (bytes + t.page_size - 1) / t.page_size
+let trunc_page t addr = addr land lnot (t.page_size - 1)
+let round_page t addr = (addr + t.page_size - 1) land lnot (t.page_size - 1)
+
+let try_alloc_frame t ~privileged =
+  let floor_frames = if privileged then 0 else t.reserved_frames in
+  if Phys_mem.free_frames t.mem > floor_frames then Phys_mem.alloc t.mem else None
+
+let free_target t = max (2 * t.reserved_frames) (Phys_mem.total_frames t.mem / 20)
+let need_pageout t = Phys_mem.free_frames t.mem < free_target t
+
+let alloc_frame t ~privileged =
+  let rec loop () =
+    match try_alloc_frame t ~privileged with
+    | Some f ->
+      if need_pageout t then Waitq.broadcast t.pageout_wanted;
+      f
+    | None ->
+      Waitq.broadcast t.pageout_wanted;
+      Waitq.wait t.free_wait;
+      loop ()
+  in
+  loop ()
+
+let free_frame t f =
+  Phys_mem.free t.mem f;
+  Waitq.broadcast t.free_wait
+
+let charge _t us = if us > 0.0 then Engine.sleep us
+
+(* The fallback terminator releases resident pages but knows nothing of
+   pager ports; Pager_client installs the full version at boot. *)
+let default_terminator t obj =
+  obj.obj_alive <- false;
+  let pages = Hashtbl.fold (fun _ p acc -> p :: acc) obj.obj_pages [] in
+  List.iter
+    (fun (p : page) ->
+      if not p.busy then begin
+        List.iter (fun (pmap, vpn) -> Pmap.remove pmap ~vpn) p.mappings;
+        p.mappings <- [];
+        Page_queues.remove t.queues p;
+        Hashtbl.remove obj.obj_pages p.p_offset;
+        free_frame t p.frame;
+        t.stats.s_pages_freed <- t.stats.s_pages_freed + 1
+      end)
+    pages
+
+let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2_000_000.0) () =
+  let reserved =
+    match reserved_frames with
+    | Some r -> r
+    | None -> max 2 (Phys_mem.total_frames mem / 50)
+  in
+  {
+    engine;
+    ctx;
+    host;
+    params;
+    mem;
+    page_size = Phys_mem.page_size mem;
+    node =
+      {
+        Mach_ipc.Transport.node_host = host;
+        node_params = params;
+        node_page_size = Phys_mem.page_size mem;
+      };
+    kspace = Port_space.create ctx ~home:host;
+    queues = Page_queues.create ();
+    stats = fresh_stats ();
+    objects_by_port = Hashtbl.create 64;
+    objects_by_request = Hashtbl.create 64;
+    cached_objects = [];
+    default_pager_port = None;
+    next_obj_id = 1;
+    reserved_frames = reserved;
+    free_wait = Waitq.create ();
+    pageout_wanted = Waitq.create ();
+    pager_timeout_us;
+    data_write_release_timeout_us = 500_000.0;
+    obj_terminator = default_terminator;
+    holdings = Hashtbl.create 32;
+    next_write_id = 1;
+    rescue_writer = None;
+    enable_collapse = true;
+  }

@@ -1,0 +1,88 @@
+(** Per-host kernel VM context.
+
+    One [Kctx.t] exists per independent Mach kernel (per host). It owns
+    the physical memory, the page queues, the kernel's own IPC identity
+    (used for the external-pager protocol), the registry mapping memory
+    object ports to internal object structures (§5.1's port → object
+    lookup), and the reserved-pool accounting of §6.2.3. *)
+
+open Vm_types
+
+type t = {
+  engine : Mach_sim.Engine.t;
+  ctx : Mach_ipc.Context.t;
+  host : int;
+  params : Mach_hw.Machine.params;
+  mem : Mach_hw.Phys_mem.t;
+  page_size : int;
+  node : Mach_ipc.Transport.node;  (** the kernel's IPC node identity *)
+  kspace : Mach_ipc.Port_space.t;  (** the kernel task's port space *)
+  queues : Page_queues.t;
+  stats : stats;
+  objects_by_port : (int, obj) Hashtbl.t;  (** memory-object port id → obj *)
+  objects_by_request : (int, obj) Hashtbl.t;  (** pager-request port id → obj *)
+  mutable cached_objects : obj list;  (** unreferenced but persisting *)
+  mutable default_pager_port : port option;
+      (** where [pager_create] messages go; set at boot *)
+  mutable next_obj_id : int;
+  reserved_frames : int;  (** frames only privileged allocations may take *)
+  free_wait : Mach_sim.Waitq.t;  (** woken when frames are freed *)
+  pageout_wanted : Mach_sim.Waitq.t;  (** wakes the pageout daemon *)
+  mutable pager_timeout_us : float;
+      (** how long a fault waits for an external manager (§6.2.1) *)
+  mutable data_write_release_timeout_us : float;
+      (** §6.2.2: how long a manager may sit on pageout data before the
+          kernel double-pages it to the default pager *)
+  mutable obj_terminator : t -> obj -> unit;
+      (** how to terminate an unreferenced object; Pager_client installs
+          the port-aware version at boot *)
+  holdings : (int, holding) Hashtbl.t;
+      (** write-id → frame parked until the manager releases it (§6.2.2) *)
+  mutable next_write_id : int;
+  mutable rescue_writer : (bytes -> unit) option;
+      (** how to push unreleased pageout data to the default pager's
+          backing store; installed by the default pager at boot *)
+  mutable enable_collapse : bool;
+      (** merge single-referenced anonymous shadow objects into their
+          shadows after COW resolution — the classic chain-length
+          optimisation; exposed as a switch for the ablation bench *)
+}
+
+val create :
+  Mach_sim.Engine.t ->
+  Mach_ipc.Context.t ->
+  host:int ->
+  params:Mach_hw.Machine.params ->
+  mem:Mach_hw.Phys_mem.t ->
+  ?reserved_frames:int ->
+  ?pager_timeout_us:float ->
+  unit ->
+  t
+
+val fresh_obj_id : t -> int
+
+val pages_of_bytes : t -> int -> int
+val trunc_page : t -> int -> int
+val round_page : t -> int -> int
+
+(** {2 Frame allocation with reserved-pool semantics (§6.2.3)} *)
+
+val try_alloc_frame : t -> privileged:bool -> int option
+(** Unprivileged allocations fail once only the reserved frames remain;
+    privileged (pageout-path) allocations may dig into the pool. *)
+
+val alloc_frame : t -> privileged:bool -> int
+(** Blocking form: kicks the pageout daemon and waits for a free frame.
+    If no pageout daemon was started this can block forever — the engine
+    will report the deadlock. *)
+
+val free_frame : t -> int -> unit
+(** Return a frame and wake frame waiters. *)
+
+val free_target : t -> int
+(** The number of free frames the pageout daemon tries to maintain. *)
+
+val need_pageout : t -> bool
+
+val charge : t -> float -> unit
+(** Advance simulated time by a CPU cost on the calling thread. *)

@@ -1,0 +1,38 @@
+open Vm_types
+module Dlist = Mach_util.Dlist
+
+type t = { active : page Dlist.t; inactive : page Dlist.t }
+
+let create () = { active = Dlist.create (); inactive = Dlist.create () }
+let active_count t = Dlist.length t.active
+let inactive_count t = Dlist.length t.inactive
+
+let node_of page =
+  match page.q_node with
+  | Some n -> n
+  | None ->
+    let n = Dlist.node page in
+    page.q_node <- Some n;
+    n
+
+let remove t page =
+  (match page.q_state with
+  | Q_none -> ()
+  | Q_active -> Dlist.remove t.active (node_of page)
+  | Q_inactive -> Dlist.remove t.inactive (node_of page));
+  page.q_state <- Q_none
+
+let activate t page =
+  remove t page;
+  Dlist.push_back t.active (node_of page);
+  page.q_state <- Q_active
+
+let deactivate t page =
+  remove t page;
+  Dlist.push_back t.inactive (node_of page);
+  page.q_state <- Q_inactive
+
+let oldest_active t = Option.map Dlist.value (Dlist.peek_front t.active)
+let oldest_inactive t = Option.map Dlist.value (Dlist.peek_front t.inactive)
+
+let iter_inactive t f = List.iter f (Dlist.to_list t.inactive)

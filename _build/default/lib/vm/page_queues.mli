@@ -1,0 +1,30 @@
+(** The page-replacement queues (§5.4): an active queue in LRU order,
+    an inactive queue of pageout candidates. (Pages "not caching any
+    data" — the paper's free queue — live in {!Mach_hw.Phys_mem}'s free
+    frame list; a freed page's structure is discarded.) *)
+
+open Vm_types
+
+type t
+
+val create : unit -> t
+val active_count : t -> int
+val inactive_count : t -> int
+
+val activate : t -> page -> unit
+(** Put the page at the tail of the active queue (most recently used),
+    removing it from whatever queue it was on. Wired and busy pages may
+    be activated; the pageout daemon skips them. *)
+
+val deactivate : t -> page -> unit
+(** Move to the tail of the inactive queue and clear the hardware
+    reference bit so future use is detectable. *)
+
+val remove : t -> page -> unit
+(** Detach from any queue (page being freed or wired). *)
+
+val oldest_active : t -> page option
+val oldest_inactive : t -> page option
+
+val iter_inactive : t -> (page -> unit) -> unit
+(** Snapshot iteration, safe against removal during the walk. *)

@@ -1,0 +1,97 @@
+open Vm_types
+module Engine = Mach_sim.Engine
+module Waitq = Mach_sim.Waitq
+module Phys_mem = Mach_hw.Phys_mem
+
+(* Move aged pages (reference bit clear) from the active queue to the
+   inactive queue; referenced pages rotate back with their bit cleared,
+   approximating LRU with a clock sweep. *)
+let refill_inactive kctx ~want =
+  let queues = kctx.Kctx.queues in
+  let scanned = ref 0 in
+  let moved = ref 0 in
+  let budget = Page_queues.active_count queues in
+  while !moved < want && !scanned < budget do
+    match Page_queues.oldest_active queues with
+    | None -> scanned := budget
+    | Some page ->
+      incr scanned;
+      if page.wire_count > 0 || page.busy then Page_queues.activate queues page
+      else if Phys_mem.referenced kctx.Kctx.mem page.frame then begin
+        Phys_mem.set_referenced kctx.Kctx.mem page.frame false;
+        Page_queues.activate queues page (* second chance *)
+      end
+      else begin
+        Page_queues.deactivate queues page;
+        incr moved
+      end
+  done;
+  !moved
+
+let reclaim_inactive kctx ~want =
+  let queues = kctx.Kctx.queues in
+  let freed = ref 0 in
+  let scanned = ref 0 in
+  let budget = Page_queues.inactive_count queues in
+  while !freed < want && !scanned < budget do
+    match Page_queues.oldest_inactive queues with
+    | None -> scanned := budget
+    | Some page ->
+      incr scanned;
+      if page.wire_count > 0 || page.busy then Page_queues.activate queues page
+      else if Phys_mem.referenced kctx.Kctx.mem page.frame then begin
+        (* Used while inactive: reactivate. *)
+        kctx.Kctx.stats.s_reactivations <- kctx.Kctx.stats.s_reactivations + 1;
+        Phys_mem.set_referenced kctx.Kctx.mem page.frame false;
+        Page_queues.activate queues page
+      end
+      else begin
+        Vm_page.harvest_bits kctx page;
+        if page.dirty then begin
+          (match page.p_obj.pager with
+          | No_pager -> Pager_client.bind_to_default_pager kctx page.p_obj
+          | Pager _ -> ());
+          (match page.p_obj.pager with
+          | Pager _ ->
+            Pager_client.page_out kctx page ~flush:false;
+            incr freed
+          | No_pager ->
+            (* No default pager registered: cannot clean; keep active. *)
+            Page_queues.activate queues page)
+        end
+        else begin
+          Vm_page.free kctx page;
+          incr freed
+        end
+      end
+  done;
+  !freed
+
+let run_once kctx =
+  let target = Kctx.free_target kctx in
+  let deficit = target - Phys_mem.free_frames kctx.Kctx.mem in
+  if deficit <= 0 then 0
+  else begin
+    (* Keep the inactive queue at about a third of the active queue. *)
+    let queues = kctx.Kctx.queues in
+    let want_inactive =
+      max deficit ((Page_queues.active_count queues / 3) - Page_queues.inactive_count queues)
+    in
+    ignore (refill_inactive kctx ~want:want_inactive);
+    reclaim_inactive kctx ~want:deficit
+  end
+
+let start kctx =
+  Engine.spawn kctx.Kctx.engine ~name:"pageout-daemon" (fun () ->
+      let rec loop () =
+        if Kctx.need_pageout kctx then begin
+          let freed = run_once kctx in
+          (* When nothing is reclaimable, block until an allocator or a
+             release changes the world; a demand-driven daemon keeps the
+             event queue empty at quiescence. *)
+          if freed = 0 then Waitq.wait kctx.Kctx.pageout_wanted else Engine.sleep 50.0
+        end
+        else Waitq.wait kctx.Kctx.pageout_wanted;
+        loop ()
+      in
+      loop ())

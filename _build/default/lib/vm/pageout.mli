@@ -1,0 +1,16 @@
+(** The pageout daemon (§5.4, §6.2.2, §6.2.3).
+
+    Maintains the free-frame target by aging pages from the active queue
+    to the inactive queue (clearing hardware reference bits so reuse is
+    observable), freeing clean inactive pages, and writing dirty ones
+    back to their data managers with [pager_data_write]. Anonymous
+    memory being paged out for the first time is handed to the default
+    pager with [pager_create]. *)
+
+val start : Kctx.t -> unit
+(** Spawn the daemon thread. It wakes when {!Kctx.alloc_frame} signals
+    memory pressure, and also on a slow periodic tick. *)
+
+val run_once : Kctx.t -> int
+(** One reclamation pass (for deterministic unit tests): returns the
+    number of frames freed or scheduled for freeing. *)

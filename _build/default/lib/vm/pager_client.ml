@@ -1,0 +1,359 @@
+open Vm_types
+module Engine = Mach_sim.Engine
+module Port = Mach_ipc.Port
+module Port_space = Mach_ipc.Port_space
+module Transport = Mach_ipc.Transport
+module Message = Mach_ipc.Message
+module Prot = Mach_hw.Prot
+module Phys_mem = Mach_hw.Phys_mem
+module Pmap = Mach_hw.Pmap
+
+let log = Logs.Src.create "mach.pager" ~doc:"external pager protocol"
+
+module Log = (val Logs.src_log log)
+
+(* Fire-and-forget kernel send; the protocol is asynchronous. A full
+   queue must not deadlock the kernel, so delivery retries run in a
+   detached thread. *)
+let kernel_send kctx msg =
+  match Transport.send kctx.Kctx.node ~timeout:0.0 msg with
+  | Ok () -> ()
+  | Error Transport.Send_timed_out ->
+    Engine.spawn kctx.Kctx.engine ~name:"kernel-send-retry" (fun () ->
+        match Transport.send kctx.Kctx.node msg with
+        | Ok () | Error _ -> ())
+  | Error Transport.Send_invalid_port -> Log.debug (fun m -> m "send to dead port dropped")
+
+let get_pager obj =
+  match obj.pager with
+  | Pager p -> p
+  | No_pager -> invalid_arg "Pager_client: object has no pager"
+
+let make_request_ports kctx obj p =
+  let ctx = kctx.Kctx.ctx in
+  let request = Port.create ctx ~home:kctx.Kctx.host ~backlog:256 () in
+  let name = Port.create ctx ~home:kctx.Kctx.host () in
+  let request_name = Port_space.insert kctx.Kctx.kspace request Message.Receive_right in
+  Port_space.enable kctx.Kctx.kspace request_name;
+  ignore (Port_space.insert kctx.Kctx.kspace name Message.Receive_right);
+  p.request_port <- Some request;
+  p.name_port <- Some name;
+  Hashtbl.replace kctx.Kctx.objects_by_request (Port.id request) obj;
+  (request, name)
+
+let ensure_initialized kctx obj =
+  match obj.pager with
+  | No_pager -> ()
+  | Pager p ->
+    if not p.initialized then begin
+      p.initialized <- true;
+      let request, name = make_request_ports kctx obj p in
+      kernel_send kctx
+        (Pager_iface.encode_k2m ~reply:None
+           (Pager_iface.Init { memory_object = p.memory_object; request; name })
+           ~dest:p.memory_object);
+      Mach_sim.Ivar.fill p.init_wait ()
+    end
+
+let request_page kctx obj ~offset ~desired_access =
+  let p = get_pager obj in
+  ensure_initialized kctx obj;
+  let frame = Kctx.alloc_frame kctx ~privileged:p.is_default in
+  let page = Vm_page.insert kctx obj ~offset ~frame ~busy:true ~absent:true in
+  obj.paging_in_progress <- obj.paging_in_progress + 1;
+  kctx.Kctx.stats.s_data_requests <- kctx.Kctx.stats.s_data_requests + 1;
+  let request =
+    match p.request_port with Some r -> r | None -> invalid_arg "request_page: not initialized"
+  in
+  kernel_send kctx
+    (Pager_iface.encode_k2m ~reply:None
+       (Pager_iface.Data_request
+          {
+            memory_object = p.memory_object;
+            request;
+            offset;
+            length = kctx.Kctx.page_size;
+            desired_access;
+          })
+       ~dest:p.memory_object);
+  page
+
+let bind_to_default_pager kctx obj =
+  match obj.pager with
+  | Pager _ -> ()
+  | No_pager ->
+    let dp =
+      match kctx.Kctx.default_pager_port with
+      | Some p -> p
+      | None -> failwith "Pager_client: no default pager registered"
+    in
+    let ctx = kctx.Kctx.ctx in
+    (* The kernel creates the memory object and hands its receive right
+       to the default pager via pager_create. *)
+    let memory_object = Port.create ctx ~home:(Port.home dp) ~backlog:256 () in
+    let p =
+      {
+        memory_object;
+        request_port = None;
+        name_port = None;
+        initialized = true;
+        init_wait = Mach_sim.Ivar.create ();
+        is_default = true;
+      }
+    in
+    obj.pager <- Pager p;
+    Hashtbl.replace kctx.Kctx.objects_by_port (Port.id memory_object) obj;
+    let request, name = make_request_ports kctx obj p in
+    Mach_sim.Ivar.fill p.init_wait ();
+    kernel_send kctx
+      (Pager_iface.encode_k2m ~reply:None
+         (Pager_iface.Create { new_memory_object = memory_object; request; name; size = obj.obj_size })
+         ~dest:dp)
+
+(* --- pageout (pager_data_write) with §6.2.2 double paging ------------- *)
+
+let rescue kctx (h : holding) =
+  if not h.h_released then begin
+    h.h_released <- true;
+    kctx.Kctx.stats.s_pageout_to_default <- kctx.Kctx.stats.s_pageout_to_default + 1;
+    (match kctx.Kctx.rescue_writer with Some w -> w h.h_data | None -> ());
+    Kctx.free_frame kctx h.h_frame;
+    Hashtbl.remove kctx.Kctx.holdings h.h_write_id
+  end
+
+let release_write kctx ~write_id =
+  match Hashtbl.find_opt kctx.Kctx.holdings write_id with
+  | None -> () (* already rescued or bogus id *)
+  | Some h ->
+    h.h_released <- true;
+    Kctx.free_frame kctx h.h_frame;
+    Hashtbl.remove kctx.Kctx.holdings write_id
+
+let page_out kctx page ~flush =
+  let obj = page.p_obj in
+  let p = get_pager obj in
+  let stats = kctx.Kctx.stats in
+  stats.s_pageouts <- stats.s_pageouts + 1;
+  if flush then stats.s_flushes <- stats.s_flushes + 1;
+  Vm_page.harvest_bits kctx page;
+  Vm_page.remove_all_mappings kctx page;
+  let data = Bytes.copy (Phys_mem.data kctx.Kctx.mem page.frame) in
+  let offset = page.p_offset in
+  let write_id = kctx.Kctx.next_write_id in
+  kctx.Kctx.next_write_id <- write_id + 1;
+  let h = { h_write_id = write_id; h_frame = page.frame; h_data = data; h_released = false } in
+  Hashtbl.replace kctx.Kctx.holdings write_id h;
+  (* Detach the page structure from its object; the frame stays parked
+     in the holding record. *)
+  Page_queues.remove kctx.Kctx.queues page;
+  Hashtbl.remove obj.obj_pages page.p_offset;
+  Vm_page.set_unbusy page;
+  (* Schedule the default-pager rescue if the manager sits on the data. *)
+  Engine.schedule kctx.Kctx.engine
+    ~at:(Engine.now kctx.Kctx.engine +. kctx.Kctx.data_write_release_timeout_us)
+    (fun () -> rescue kctx h);
+  kernel_send kctx
+    (Pager_iface.encode_k2m ~reply:p.request_port
+       (Pager_iface.Data_write { memory_object = p.memory_object; offset; data; write_id })
+       ~dest:p.memory_object)
+
+let send_unlock kctx obj ~offset ~length ~desired_access =
+  let p = get_pager obj in
+  let request =
+    match p.request_port with Some r -> r | None -> invalid_arg "send_unlock: not initialized"
+  in
+  kctx.Kctx.stats.s_unlock_requests <- kctx.Kctx.stats.s_unlock_requests + 1;
+  kernel_send kctx
+    (Pager_iface.encode_k2m ~reply:None
+       (Pager_iface.Data_unlock
+          { memory_object = p.memory_object; request; offset; length; desired_access })
+       ~dest:p.memory_object)
+
+(* --- manager→kernel handling ------------------------------------------ *)
+
+let object_of_request_port kctx port =
+  Hashtbl.find_opt kctx.Kctx.objects_by_request (Port.id port)
+
+let apply_lock kctx page lock =
+  page.page_lock <- lock;
+  (* Reduce hardware protections: forbidden accesses must trap. *)
+  List.iter
+    (fun (pmap, vpn) ->
+      match Pmap.lookup pmap ~vpn with
+      | Some (_, cur) -> Pmap.protect pmap ~vpn ~prot:(Prot.diff cur lock)
+      | None -> ())
+    page.mappings;
+  ignore kctx;
+  if page.unlock_requested && not (Prot.can_write lock) then page.unlock_requested <- false;
+  (* Faulters waiting for an unlock re-check. *)
+  Mach_sim.Waitq.broadcast page.busy_wait
+
+let fill_provided kctx obj ~offset ~data ~lock_value =
+  let ps = kctx.Kctx.page_size in
+  let stats = kctx.Kctx.stats in
+  stats.s_data_provided <- stats.s_data_provided + 1;
+  (* Partial trailing pages are discarded (§3.4.1). *)
+  let whole_pages = Bytes.length data / ps in
+  for i = 0 to whole_pages - 1 do
+    let off = offset + (i * ps) in
+    let chunk = Bytes.sub data (i * ps) ps in
+    match Vm_page.lookup obj ~offset:off with
+    | Some page when page.absent ->
+      Phys_mem.write kctx.Kctx.mem page.frame ~off:0 chunk;
+      page.absent <- false;
+      page.p_error <- false;
+      page.page_lock <- lock_value;
+      obj.paging_in_progress <- max 0 (obj.paging_in_progress - 1);
+      stats.s_pageins <- stats.s_pageins + 1;
+      Page_queues.activate kctx.Kctx.queues page;
+      Vm_page.set_unbusy page
+    | Some _ ->
+      (* Data for a page the kernel already has: drop it. *)
+      ()
+    | None -> (
+      (* Unsolicited pre-paged data from an advanced manager: accept it
+         if a frame is available without waiting. *)
+      match Kctx.try_alloc_frame kctx ~privileged:false with
+      | Some frame ->
+        let page = Vm_page.insert kctx obj ~offset:off ~frame ~busy:false ~absent:false in
+        Phys_mem.write kctx.Kctx.mem frame ~off:0 chunk;
+        page.page_lock <- lock_value;
+        stats.s_pageins <- stats.s_pageins + 1;
+        Page_queues.activate kctx.Kctx.queues page
+      | None -> ())
+  done
+
+let data_unavailable kctx obj ~offset ~size =
+  let ps = kctx.Kctx.page_size in
+  let stats = kctx.Kctx.stats in
+  stats.s_data_unavailable <- stats.s_data_unavailable + 1;
+  let pages = (size + ps - 1) / ps in
+  for i = 0 to pages - 1 do
+    let off = offset + (i * ps) in
+    match Vm_page.lookup obj ~offset:off with
+    | Some page when page.absent ->
+      (* Frame is already zero-filled. *)
+      page.absent <- false;
+      page.p_error <- false;
+      obj.paging_in_progress <- max 0 (obj.paging_in_progress - 1);
+      stats.s_zero_fill <- stats.s_zero_fill + 1;
+      Page_queues.activate kctx.Kctx.queues page;
+      Vm_page.set_unbusy page
+    | Some _ | None -> ()
+  done
+
+let flush_range kctx obj ~offset ~length ~keep =
+  let ps = kctx.Kctx.page_size in
+  let lo = offset land lnot (ps - 1) in
+  let hi = offset + length in
+  let targets =
+    Hashtbl.fold (fun off p acc -> if off >= lo && off < hi then p :: acc else acc) obj.obj_pages []
+    |> List.sort (fun a b -> compare a.p_offset b.p_offset)
+  in
+  List.iter
+    (fun page ->
+      if not page.busy then begin
+        Vm_page.harvest_bits kctx page;
+        if page.dirty then begin
+          if keep then begin
+            (* pager_clean_request: write back but keep the page. *)
+            let p = get_pager obj in
+            let data = Bytes.copy (Phys_mem.data kctx.Kctx.mem page.frame) in
+            let write_id = kctx.Kctx.next_write_id in
+            kctx.Kctx.next_write_id <- write_id + 1;
+            page.dirty <- false;
+            kctx.Kctx.stats.s_pageouts <- kctx.Kctx.stats.s_pageouts + 1;
+            kernel_send kctx
+              (Pager_iface.encode_k2m ~reply:p.request_port
+                 (Pager_iface.Data_write
+                    { memory_object = p.memory_object; offset = page.p_offset; data; write_id })
+                 ~dest:p.memory_object)
+          end
+          else page_out kctx page ~flush:true
+        end
+        else if not keep then begin
+          kctx.Kctx.stats.s_flushes <- kctx.Kctx.stats.s_flushes + 1;
+          Vm_page.free kctx page
+        end
+      end)
+    targets
+
+let handle_manager_message kctx (msg : Message.t) =
+  match Pager_iface.decode_m2k msg with
+  | exception Pager_iface.Malformed reason ->
+    Log.warn (fun m -> m "malformed manager message: %s" reason)
+  | call -> (
+    match object_of_request_port kctx msg.header.dest with
+    | None -> Log.warn (fun m -> m "manager message for unknown request port")
+    | Some obj -> (
+      match call with
+      | Pager_iface.Data_provided { offset; data; lock_value } ->
+        fill_provided kctx obj ~offset ~data ~lock_value
+      | Pager_iface.Data_unavailable { offset; size } -> data_unavailable kctx obj ~offset ~size
+      | Pager_iface.Data_lock { offset; length; lock_value } ->
+        let ps = kctx.Kctx.page_size in
+        let lo = offset land lnot (ps - 1) in
+        let hi = offset + length in
+        Hashtbl.iter
+          (fun off page -> if off >= lo && off < hi then apply_lock kctx page lock_value)
+          obj.obj_pages
+      | Pager_iface.Flush_request { offset; length } ->
+        flush_range kctx obj ~offset ~length ~keep:false;
+        let p = get_pager obj in
+        kernel_send kctx
+          (Pager_iface.encode_k2m ~reply:p.request_port
+             (Pager_iface.Lock_completed { memory_object = p.memory_object; offset; length })
+             ~dest:p.memory_object)
+      | Pager_iface.Clean_request { offset; length } ->
+        flush_range kctx obj ~offset ~length ~keep:true;
+        let p = get_pager obj in
+        kernel_send kctx
+          (Pager_iface.encode_k2m ~reply:p.request_port
+             (Pager_iface.Lock_completed { memory_object = p.memory_object; offset; length })
+             ~dest:p.memory_object)
+      | Pager_iface.Cache { may_cache } -> obj.can_persist <- may_cache
+      | Pager_iface.Release_write { write_id } -> release_write kctx ~write_id))
+
+(* --- termination -------------------------------------------------------- *)
+
+let terminate kctx obj =
+  if obj.obj_alive then begin
+    obj.obj_alive <- false;
+    (* "The kernel releases the cached pages for that object, cleaning
+       them as necessary" (§3.4): dirty pages go back to the manager
+       before the ports die. Temporary objects are exempt — their
+       contents need not outlive them, so cleaning would only ship
+       garbage to the default pager. *)
+    (match obj.pager with
+    | Pager p when p.initialized && not obj.temporary ->
+      let pages = Hashtbl.fold (fun _ pg acc -> pg :: acc) obj.obj_pages [] in
+      let pages = List.sort (fun a b -> compare a.p_offset b.p_offset) pages in
+      List.iter
+        (fun pg ->
+          if not pg.busy then begin
+            Vm_page.harvest_bits kctx pg;
+            if pg.dirty then page_out kctx pg ~flush:false
+          end)
+        pages
+    | Pager _ | No_pager -> ());
+    Vm_object.destroy_pages kctx obj;
+    match obj.pager with
+    | No_pager -> ()
+    | Pager p ->
+      Hashtbl.remove kctx.Kctx.objects_by_port (Port.id p.memory_object);
+      (match p.request_port with
+      | Some r ->
+        Hashtbl.remove kctx.Kctx.objects_by_request (Port.id r);
+        (match Port_space.name_of kctx.Kctx.kspace r with
+        | Some n -> Port_space.deallocate kctx.Kctx.kspace n
+        | None -> Port.destroy r)
+      | None -> ());
+      (match p.name_port with
+      | Some n -> (
+        match Port_space.name_of kctx.Kctx.kspace n with
+        | Some nm -> Port_space.deallocate kctx.Kctx.kspace nm
+        | None -> Port.destroy n)
+      | None -> ())
+  end
+
+let install kctx = kctx.Kctx.obj_terminator <- terminate

@@ -1,0 +1,55 @@
+(** The kernel's side of the external memory management interface.
+
+    Sends the Table 3-5 calls ([pager_init], [pager_data_request],
+    [pager_data_write], [pager_data_unlock], [pager_create]) and handles
+    the Table 3-6 calls arriving on pager request ports
+    ([pager_data_provided], [pager_data_lock], [pager_flush_request],
+    [pager_clean_request], [pager_cache], [pager_data_unavailable]).
+
+    All calls are asynchronous, exactly as the paper specifies: "the
+    calls do not have explicit return arguments and the kernel does not
+    wait for acknowledgement". *)
+
+open Vm_types
+
+val install : Kctx.t -> unit
+(** Install the port-aware object terminator into the context. Call once
+    at kernel boot. *)
+
+val ensure_initialized : Kctx.t -> obj -> unit
+(** If the object has an external pager that has not been initialised,
+    allocate the pager request and name ports, register them, and send
+    [pager_init] (§3.4.1: performed before [vm_allocate_with_pager]
+    completes, without awaiting a reply). *)
+
+val request_page : Kctx.t -> obj -> offset:int -> desired_access:Mach_hw.Prot.t -> page
+(** Allocate a busy+absent placeholder page and send
+    [pager_data_request] for one page. The caller waits on the page. *)
+
+val bind_to_default_pager : Kctx.t -> obj -> unit
+(** First pageout from an anonymous object: create a kernel memory
+    object, hand it to the default pager with [pager_create], and bind
+    it as the object's pager. Requires [default_pager_port] to be set. *)
+
+val page_out : Kctx.t -> page -> flush:bool -> unit
+(** Write a dirty page back to its object's manager with
+    [pager_data_write]. The page leaves its object; its frame is parked
+    in a holding record until the manager releases it ([Release_write])
+    or the release timeout forces a rescue to the default pager
+    (§6.2.2). [flush] only affects statistics labelling. The object must
+    already have a pager binding. *)
+
+val send_unlock : Kctx.t -> obj -> offset:int -> length:int -> desired_access:Mach_hw.Prot.t -> unit
+(** [pager_data_unlock]: ask the manager to loosen a page lock. *)
+
+val handle_manager_message : Kctx.t -> Mach_ipc.Message.t -> unit
+(** Dispatch one manager→kernel message (the kernel's pager service
+    thread calls this for traffic on pager request ports). Unknown or
+    malformed messages are counted and dropped. *)
+
+val object_of_request_port : Kctx.t -> Mach_ipc.Message.port -> obj option
+
+val terminate : Kctx.t -> obj -> unit
+(** Release everything: resident pages, kernel port rights (destroying
+    the request and name ports — the manager observes their death and
+    shuts down, §3.4.1), registry entries. *)

@@ -1,0 +1,500 @@
+open Vm_types
+module Prot = Mach_hw.Prot
+module Pmap = Mach_hw.Pmap
+
+type t = {
+  map_id : int;
+  kctx : Kctx.t;
+  map_pmap : Pmap.t option;
+  mutable map_entries : entry list; (* sorted by va_start, non-overlapping *)
+  mutable mref : int; (* sharing-map references *)
+  va_limit : int;
+}
+
+and entry = {
+  mutable va_start : int;
+  mutable va_end : int;
+  mutable protection : Prot.t;
+  mutable max_protection : Prot.t;
+  mutable inheritance : inheritance;
+  mutable backing : entry_backing;
+}
+
+and entry_backing = Direct of direct | Shared of { share_map : t; sh_offset : int }
+and direct = { mutable d_obj : obj; mutable d_offset : int; mutable needs_copy : bool }
+
+type region_info = {
+  ri_start : int;
+  ri_size : int;
+  ri_protection : Prot.t;
+  ri_max_protection : Prot.t;
+  ri_inheritance : inheritance;
+  ri_object_id : int option;
+  ri_shared : bool;
+  ri_name_port : port option;
+}
+
+exception No_space
+exception Bad_address of int
+
+let next_map_id = ref 0
+
+let create kctx ~pmap ?(va_limit = 1 lsl 40) () =
+  incr next_map_id;
+  { map_id = !next_map_id; kctx; map_pmap = pmap; map_entries = []; mref = 1; va_limit }
+
+let pmap t = t.map_pmap
+let kctx t = t.kctx
+let entries t = t.map_entries
+let page_size t = t.kctx.Kctx.page_size
+let size t = List.fold_left (fun acc e -> acc + (e.va_end - e.va_start)) 0 t.map_entries
+
+let check_invariants t =
+  let ps = page_size t in
+  let rec go last = function
+    | [] -> Ok ()
+    | e :: rest ->
+      if e.va_start >= e.va_end then Error (Printf.sprintf "empty entry at %#x" e.va_start)
+      else if e.va_start < last then Error (Printf.sprintf "overlap at %#x" e.va_start)
+      else if e.va_start land (ps - 1) <> 0 || e.va_end land (ps - 1) <> 0 then
+        Error (Printf.sprintf "unaligned entry at %#x" e.va_start)
+      else if not (Prot.subset e.protection e.max_protection) then
+        Error (Printf.sprintf "protection exceeds max at %#x" e.va_start)
+      else begin
+        match e.backing with
+        | Direct d ->
+          if d.d_offset land (ps - 1) <> 0 then
+            Error (Printf.sprintf "unaligned object offset at %#x" e.va_start)
+          else if d.d_obj.ref_count <= 0 then
+            Error (Printf.sprintf "dead object reference at %#x" e.va_start)
+          else go e.va_end rest
+        | Shared s ->
+          if s.share_map.mref <= 0 then Error (Printf.sprintf "dead share map at %#x" e.va_start)
+          else go e.va_end rest
+      end
+  in
+  go 0 t.map_entries
+
+(* ---- entry list surgery ---------------------------------------------- *)
+
+let find_entry t va = List.find_opt (fun e -> va >= e.va_start && va < e.va_end) t.map_entries
+
+let insert_entry t e =
+  let rec go = function
+    | [] -> [ e ]
+    | hd :: tl when e.va_start < hd.va_start -> e :: hd :: tl
+    | hd :: tl -> hd :: go tl
+  in
+  t.map_entries <- go t.map_entries
+
+(* Split [e] so that [addr] becomes an entry boundary. *)
+let clip t addr =
+  match find_entry t addr with
+  | None -> ()
+  | Some e when e.va_start = addr -> ()
+  | Some e ->
+    let tail_backing =
+      match e.backing with
+      | Direct d ->
+        d.d_obj.ref_count <- d.d_obj.ref_count + 1;
+        Direct
+          { d_obj = d.d_obj; d_offset = d.d_offset + (addr - e.va_start); needs_copy = d.needs_copy }
+      | Shared s ->
+        s.share_map.mref <- s.share_map.mref + 1;
+        Shared { share_map = s.share_map; sh_offset = s.sh_offset + (addr - e.va_start) }
+    in
+    let tail =
+      {
+        va_start = addr;
+        va_end = e.va_end;
+        protection = e.protection;
+        max_protection = e.max_protection;
+        inheritance = e.inheritance;
+        backing = tail_backing;
+      }
+    in
+    e.va_end <- addr;
+    insert_entry t tail
+
+(* All entries intersecting [lo, hi), clipped exactly to the range. *)
+let entries_in_range t ~lo ~hi =
+  clip t lo;
+  clip t hi;
+  List.filter (fun e -> e.va_start >= lo && e.va_end <= hi && e.va_start < hi && e.va_end > lo)
+    t.map_entries
+
+(* The range must be fully mapped; returns entries in order. *)
+let entries_covering t ~lo ~hi =
+  let es = entries_in_range t ~lo ~hi in
+  let rec check cursor = function
+    | [] -> if cursor = hi then () else raise (Bad_address cursor)
+    | e :: rest ->
+      if e.va_start <> cursor then raise (Bad_address cursor) else check e.va_end rest
+  in
+  check lo es;
+  es
+
+(* ---- hardware (pmap) bookkeeping -------------------------------------- *)
+
+(* Iterate resident pages reachable through a direct record for object
+   offsets [lo_off, lo_off+span); [f] receives the page and the offset
+   relative to lo_off. Walks the whole shadow chain: pages from backing
+   objects may be mapped read-only in our pmap. *)
+let iter_chain_pages d ~lo_off ~span f =
+  let rec walk obj delta =
+    Hashtbl.iter
+      (fun off page ->
+        let top_off = off - delta in
+        if top_off >= lo_off && top_off < lo_off + span then f page (top_off - lo_off))
+      obj.obj_pages;
+    match obj.backing with
+    | Some { back_obj; back_offset } -> walk back_obj (delta + back_offset)
+    | None -> ()
+  in
+  walk d.d_obj 0
+
+(* Apply [f page rel_off] to resident pages under [e] for the address
+   range [lo, hi) (which must lie within the entry); rel_off is relative
+   to lo. *)
+let iter_entry_pages e ~lo ~hi f =
+  let span = hi - lo in
+  match e.backing with
+  | Direct d -> iter_chain_pages d ~lo_off:(d.d_offset + (lo - e.va_start)) ~span f
+  | Shared s ->
+    let sh_lo = s.sh_offset + (lo - e.va_start) in
+    let sh_hi = sh_lo + span in
+    List.iter
+      (fun se ->
+        let olo = max se.va_start sh_lo and ohi = min se.va_end sh_hi in
+        if olo < ohi then
+          match se.backing with
+          | Direct d ->
+            iter_chain_pages d ~lo_off:(d.d_offset + (olo - se.va_start)) ~span:(ohi - olo)
+              (fun page rel -> f page (olo - sh_lo + rel))
+          | Shared _ -> assert false (* sharing maps are single-level *))
+      s.share_map.map_entries
+
+(* Remove every hardware translation this map holds for [lo, hi) of
+   entry [e], fixing the pages' reverse-mapping lists. *)
+let drop_hw t e ~lo ~hi =
+  match t.map_pmap with
+  | None -> ()
+  | Some pm ->
+    let ps = page_size t in
+    iter_entry_pages e ~lo ~hi (fun page rel ->
+        let vpn = (lo + rel) / ps in
+        Vm_page.drop_mapping page pm ~vpn);
+    Pmap.remove_range pm ~lo:(lo / ps) ~hi:((hi / ps) - 1)
+
+(* Reduce hardware protections in [lo, hi) to at most [prot]. *)
+let limit_hw t e ~lo ~hi prot =
+  match t.map_pmap with
+  | None -> ()
+  | Some pm ->
+    let ps = page_size t in
+    iter_entry_pages e ~lo ~hi (fun page rel ->
+        let vpn = (lo + rel) / ps in
+        match Pmap.lookup pm ~vpn with
+        | Some (_, cur) -> Pmap.protect pm ~vpn ~prot:(Prot.inter cur prot)
+        | None -> ignore page)
+
+(* Write-protect every mapping (in all pmaps) of resident pages backing
+   this direct record: the next write anywhere faults and copies. *)
+let freeze_chain kctx d ~lo_off ~span =
+  iter_chain_pages d ~lo_off ~span (fun page _ ->
+      Vm_page.protect_mappings kctx page Prot.rx)
+
+(* ---- deallocation ------------------------------------------------------ *)
+
+let release_entry t e =
+  drop_hw t e ~lo:e.va_start ~hi:e.va_end;
+  match e.backing with
+  | Direct d -> Vm_object.deallocate t.kctx d.d_obj
+  | Shared s ->
+    s.share_map.mref <- s.share_map.mref - 1;
+    if s.share_map.mref = 0 then begin
+      List.iter
+        (fun se ->
+          match se.backing with
+          | Direct d -> Vm_object.deallocate t.kctx d.d_obj
+          | Shared _ -> assert false)
+        s.share_map.map_entries;
+      s.share_map.map_entries <- []
+    end
+
+let deallocate t ~addr ~size =
+  let ps = page_size t in
+  let lo = addr land lnot (ps - 1) in
+  let hi = (addr + size + ps - 1) land lnot (ps - 1) in
+  let doomed = entries_in_range t ~lo ~hi in
+  t.map_entries <- List.filter (fun e -> not (List.memq e doomed)) t.map_entries;
+  List.iter (release_entry t) doomed
+
+let destroy t =
+  let doomed = t.map_entries in
+  t.map_entries <- [];
+  List.iter (release_entry t) doomed
+
+(* ---- allocation -------------------------------------------------------- *)
+
+let range_free t ~lo ~hi =
+  not (List.exists (fun e -> e.va_start < hi && e.va_end > lo) t.map_entries)
+
+let find_space t ~size =
+  let ps = page_size t in
+  let rec go cursor = function
+    | [] -> if cursor + size <= t.va_limit then cursor else raise No_space
+    | e :: rest -> if cursor + size <= e.va_start then cursor else go e.va_end rest
+  in
+  go ps t.map_entries
+
+let pick_address t ?addr ~size ~anywhere () =
+  let ps = page_size t in
+  if size <= 0 then invalid_arg "Vm_map: size must be positive";
+  let size = (size + ps - 1) land lnot (ps - 1) in
+  let base =
+    match (addr, anywhere) with
+    | Some a, false ->
+      let a = a land lnot (ps - 1) in
+      if not (range_free t ~lo:a ~hi:(a + size)) then raise No_space;
+      a
+    | Some a, true ->
+      let a = a land lnot (ps - 1) in
+      if range_free t ~lo:a ~hi:(a + size) then a else find_space t ~size
+    | None, _ -> find_space t ~size
+  in
+  (base, size)
+
+let allocate_with_object t ?addr ~size ~anywhere ~obj ~offset ?(needs_copy = false)
+    ?(protection = Prot.rw) ?(max_protection = Prot.all) () =
+  let base, size = pick_address t ?addr ~size ~anywhere () in
+  insert_entry t
+    {
+      va_start = base;
+      va_end = base + size;
+      protection;
+      max_protection;
+      inheritance = Inherit_copy;
+      backing = Direct { d_obj = obj; d_offset = offset; needs_copy };
+    };
+  base
+
+let allocate t ?addr ~size ~anywhere () =
+  let obj = Vm_object.create_anonymous t.kctx ~size in
+  allocate_with_object t ?addr ~size ~anywhere ~obj ~offset:0 ()
+
+(* ---- attributes -------------------------------------------------------- *)
+
+let protect t ~addr ~size ~set_max prot =
+  let ps = page_size t in
+  let lo = addr land lnot (ps - 1) in
+  let hi = (addr + size + ps - 1) land lnot (ps - 1) in
+  let es = entries_covering t ~lo ~hi in
+  List.iter
+    (fun e ->
+      if set_max then begin
+        e.max_protection <- prot;
+        e.protection <- Prot.inter e.protection prot
+      end
+      else begin
+        if not (Prot.subset prot e.max_protection) then raise (Bad_address e.va_start);
+        e.protection <- prot
+      end;
+      limit_hw t e ~lo:e.va_start ~hi:e.va_end e.protection)
+    es
+
+let set_inheritance t ~addr ~size inh =
+  let ps = page_size t in
+  let lo = addr land lnot (ps - 1) in
+  let hi = (addr + size + ps - 1) land lnot (ps - 1) in
+  let es = entries_covering t ~lo ~hi in
+  List.iter (fun e -> e.inheritance <- inh) es
+
+let regions t =
+  List.map
+    (fun e ->
+      let obj_id, name_port, shared =
+        match e.backing with
+        | Direct d ->
+          let name =
+            match d.d_obj.pager with Pager p -> p.name_port | No_pager -> None
+          in
+          (Some d.d_obj.obj_id, name, false)
+        | Shared _ -> (None, None, true)
+      in
+      {
+        ri_start = e.va_start;
+        ri_size = e.va_end - e.va_start;
+        ri_protection = e.protection;
+        ri_max_protection = e.max_protection;
+        ri_inheritance = e.inheritance;
+        ri_object_id = obj_id;
+        ri_shared = shared;
+        ri_name_port = name_port;
+      })
+    t.map_entries
+
+(* ---- lookup (fault path) ---------------------------------------------- *)
+
+type lookup = { lk_entry_prot : Prot.t; lk_obj : obj; lk_offset : int; lk_writable : bool }
+
+(* Resolve a pending copy-on-write by interposing a shadow object over
+   the direct record; the old object becomes the frozen common ancestor
+   (§5.5). [span] is the extent the record covers. *)
+let resolve_copy kctx d ~span =
+  let shadow = Vm_object.create_shadow kctx ~backs:d.d_obj ~offset:d.d_offset ~size:span in
+  (* The record's reference moves from the old object to the shadow:
+     create_shadow took its own reference on the old object. *)
+  Vm_object.deallocate kctx d.d_obj;
+  d.d_obj <- shadow;
+  d.d_offset <- 0;
+  d.needs_copy <- false
+
+let lookup t ~addr ~write =
+  match find_entry t addr with
+  | None -> Error `Invalid_address
+  | Some e ->
+    let needed = if write then Prot.write else Prot.read in
+    if not (Prot.subset needed e.protection) then Error `Protection
+    else begin
+      let resolve d ~rec_base ~span =
+        (* [rec_base]: the virtual address corresponding to d_offset's
+           start; [span]: extent of the record. *)
+        if write && d.needs_copy then resolve_copy t.kctx d ~span;
+        let offset = d.d_offset + (addr - rec_base) in
+        Ok
+          {
+            lk_entry_prot = e.protection;
+            lk_obj = d.d_obj;
+            lk_offset = t.kctx.Kctx.page_size * (offset / t.kctx.Kctx.page_size);
+            lk_writable = Prot.can_write e.protection && not d.needs_copy;
+          }
+      in
+      match e.backing with
+      | Direct d -> resolve d ~rec_base:e.va_start ~span:(e.va_end - e.va_start)
+      | Shared s -> (
+        let sh_addr = s.sh_offset + (addr - e.va_start) in
+        match find_entry s.share_map sh_addr with
+        | None -> Error `Invalid_address
+        | Some se -> (
+          match se.backing with
+          | Direct d ->
+            (* Translate so that rec_base maps [addr] onto the right
+               sub-entry offset. *)
+            let rec_base = addr - (sh_addr - se.va_start) in
+            resolve d ~rec_base ~span:(se.va_end - se.va_start)
+          | Shared _ -> assert false))
+    end
+
+(* ---- fork and region copy ---------------------------------------------- *)
+
+(* Promote a direct entry to a sharing-map entry (first Share fork). *)
+let promote_to_share t e =
+  match e.backing with
+  | Shared _ -> ()
+  | Direct d ->
+    let sm = create t.kctx ~pmap:None ~va_limit:t.va_limit () in
+    let span = e.va_end - e.va_start in
+    sm.map_entries <-
+      [
+        {
+          va_start = 0;
+          va_end = span;
+          protection = Prot.all;
+          max_protection = Prot.all;
+          inheritance = Inherit_share;
+          backing = Direct d;
+        };
+      ];
+    e.backing <- Shared { share_map = sm; sh_offset = 0 }
+
+(* Set up symmetric copy-on-write of a direct record for a new holder:
+   returns the (obj, offset) the copy should reference. *)
+let cow_share kctx d ~lo_off ~span =
+  d.d_obj.ref_count <- d.d_obj.ref_count + 1;
+  d.needs_copy <- true;
+  freeze_chain kctx d ~lo_off ~span;
+  (d.d_obj, lo_off)
+
+(* Build the copy-entries for address range [lo, hi) of entry [e],
+   calling [emit] with (rel_addr, span, obj, offset) pieces. *)
+let copy_pieces t e ~lo ~hi emit =
+  let kctx = t.kctx in
+  match e.backing with
+  | Direct d ->
+    let lo_off = d.d_offset + (lo - e.va_start) in
+    let obj, offset = cow_share kctx d ~lo_off ~span:(hi - lo) in
+    emit ~rel:0 ~span:(hi - lo) ~obj ~offset
+  | Shared s ->
+    let sh_lo = s.sh_offset + (lo - e.va_start) in
+    let sh_hi = sh_lo + (hi - lo) in
+    let sub = entries_covering s.share_map ~lo:sh_lo ~hi:sh_hi in
+    List.iter
+      (fun se ->
+        match se.backing with
+        | Direct d ->
+          let lo_off = d.d_offset + (max se.va_start sh_lo - se.va_start) in
+          let span = min se.va_end sh_hi - max se.va_start sh_lo in
+          let obj, offset = cow_share kctx d ~lo_off ~span in
+          emit ~rel:(max se.va_start sh_lo - sh_lo) ~span ~obj ~offset
+        | Shared _ -> assert false)
+      sub
+
+let fork t ~child_pmap =
+  let child = create t.kctx ~pmap:child_pmap ~va_limit:t.va_limit () in
+  List.iter
+    (fun e ->
+      match e.inheritance with
+      | Inherit_none -> ()
+      | Inherit_share ->
+        promote_to_share t e;
+        (match e.backing with
+        | Shared s ->
+          s.share_map.mref <- s.share_map.mref + 1;
+          insert_entry child
+            {
+              va_start = e.va_start;
+              va_end = e.va_end;
+              protection = e.protection;
+              max_protection = e.max_protection;
+              inheritance = e.inheritance;
+              backing = Shared { share_map = s.share_map; sh_offset = s.sh_offset };
+            }
+        | Direct _ -> assert false)
+      | Inherit_copy ->
+        copy_pieces t e ~lo:e.va_start ~hi:e.va_end (fun ~rel ~span ~obj ~offset ->
+            insert_entry child
+              {
+                va_start = e.va_start + rel;
+                va_end = e.va_start + rel + span;
+                protection = e.protection;
+                max_protection = e.max_protection;
+                inheritance = e.inheritance;
+                backing = Direct { d_obj = obj; d_offset = offset; needs_copy = true };
+              }))
+    t.map_entries;
+  child
+
+let copy_region ~src ~src_addr ~size ~dst ?dst_addr () =
+  let ps = page_size src in
+  if page_size dst <> ps then invalid_arg "Vm_map.copy_region: page size mismatch";
+  let lo = src_addr land lnot (ps - 1) in
+  let hi = (src_addr + size + ps - 1) land lnot (ps - 1) in
+  let es = entries_covering src ~lo ~hi in
+  let total = hi - lo in
+  let base, _ = pick_address dst ?addr:dst_addr ~size:total ~anywhere:true () in
+  List.iter
+    (fun e ->
+      copy_pieces src e ~lo:e.va_start ~hi:e.va_end (fun ~rel ~span ~obj ~offset ->
+          let at = base + (e.va_start - lo) + rel in
+          insert_entry dst
+            {
+              va_start = at;
+              va_end = at + span;
+              protection = Prot.rw;
+              max_protection = Prot.all;
+              inheritance = Inherit_copy;
+              backing = Direct { d_obj = obj; d_offset = offset; needs_copy = true };
+            }))
+    es;
+  base

@@ -1,0 +1,127 @@
+(** Task address maps (§5.1): a sorted directory of valid address
+    ranges, each mapping to a memory object and offset.
+
+    Maps are two-level: to account for read/write sharing through
+    inheritance, a top-level entry may refer to a second-level *sharing
+    map* whose own entries refer to objects; per-task attributes
+    (protection, inheritance) stay in the top-level entry, while changes
+    to the memory itself take place in the sharing map and are seen by
+    every task referencing it. As an optimisation, entries point
+    directly at objects when no inheritance-sharing has occurred. *)
+
+open Vm_types
+
+type t
+
+type entry = {
+  mutable va_start : int;
+  mutable va_end : int;  (** exclusive *)
+  mutable protection : Mach_hw.Prot.t;
+  mutable max_protection : Mach_hw.Prot.t;
+  mutable inheritance : inheritance;
+  mutable backing : entry_backing;
+}
+
+and entry_backing =
+  | Direct of direct
+  | Shared of { share_map : t; sh_offset : int }
+
+and direct = {
+  mutable d_obj : obj;
+  mutable d_offset : int;
+  mutable needs_copy : bool;  (** copy-on-write pending: shadow before writing *)
+}
+
+type region_info = {
+  ri_start : int;
+  ri_size : int;
+  ri_protection : Mach_hw.Prot.t;
+  ri_max_protection : Mach_hw.Prot.t;
+  ri_inheritance : inheritance;
+  ri_object_id : int option;  (** [None] for sharing-map regions *)
+  ri_shared : bool;
+  ri_name_port : port option;  (** the pager name port, as vm_regions returns *)
+}
+
+exception No_space
+exception Bad_address of int
+
+val create : Kctx.t -> pmap:Mach_hw.Pmap.t option -> ?va_limit:int -> unit -> t
+val pmap : t -> Mach_hw.Pmap.t option
+val kctx : t -> Kctx.t
+val entries : t -> entry list
+(** Sorted; for inspection and invariant checks. *)
+
+val size : t -> int
+(** Total mapped bytes. *)
+
+val check_invariants : t -> (unit, string) result
+(** Sorted, non-overlapping, page-aligned, positive spans — for
+    property tests. *)
+
+(** {2 Allocation (Table 3-3 / 3-4)} *)
+
+val allocate : t -> ?addr:int -> size:int -> anywhere:bool -> unit -> int
+(** [vm_allocate]: new zero-filled anonymous memory; returns the chosen
+    address. Raises {!No_space}. *)
+
+val allocate_with_object :
+  t ->
+  ?addr:int ->
+  size:int ->
+  anywhere:bool ->
+  obj:obj ->
+  offset:int ->
+  ?needs_copy:bool ->
+  ?protection:Mach_hw.Prot.t ->
+  ?max_protection:Mach_hw.Prot.t ->
+  unit ->
+  int
+(** Map an existing object (consumes one reference the caller must have
+    taken). Foundation of [vm_allocate_with_pager] and of mapped message
+    transfer. *)
+
+val deallocate : t -> addr:int -> size:int -> unit
+(** [vm_deallocate]: unmap the range, releasing object references and
+    hardware translations. Partial entries are clipped. *)
+
+val destroy : t -> unit
+(** Deallocate everything (task death). *)
+
+(** {2 Attributes} *)
+
+val protect : t -> addr:int -> size:int -> set_max:bool -> Mach_hw.Prot.t -> unit
+(** [vm_protect]. Raises {!Bad_address} if the range has holes. *)
+
+val set_inheritance : t -> addr:int -> size:int -> inheritance -> unit
+(** [vm_inherit]. *)
+
+val regions : t -> region_info list
+(** [vm_regions]. *)
+
+(** {2 Lookup (the fault path and data access)} *)
+
+type lookup = {
+  lk_entry_prot : Mach_hw.Prot.t;
+  lk_obj : obj;  (** the first-level object to search from *)
+  lk_offset : int;  (** offset of the faulting page within [lk_obj] *)
+  lk_writable : bool;  (** hardware may map writable (no pending COW) *)
+}
+
+val lookup : t -> addr:int -> write:bool -> (lookup, [ `Invalid_address | `Protection ]) result
+(** Resolve an address for an access: follows sharing maps, checks
+    protection, and resolves pending copy-on-write for writes by
+    interposing a shadow object (§5.5 "copy-on-write" step). For reads
+    of COW regions, [lk_writable] is false: the page must be mapped
+    read-only so the eventual write faults. *)
+
+val fork : t -> child_pmap:Mach_hw.Pmap.t option -> t
+(** Build a child map per the inheritance attributes (§3.3): [Share]
+    promotes the parent entry into a sharing map referenced by both;
+    [Copy] sets up symmetric copy-on-write; [None] leaves a hole. *)
+
+val copy_region : src:t -> src_addr:int -> size:int -> dst:t -> ?dst_addr:int -> unit -> int
+(** Virtual (copy-on-write) copy of [size] bytes worth of pages from
+    [src] into fresh address space of [dst] (the mechanism behind
+    [vm_copy], large message transfer, and [fs_read_file]'s reply).
+    Returns the destination address. *)

@@ -1,0 +1,176 @@
+open Vm_types
+module Port = Mach_ipc.Port
+
+let make kctx ~size ~pager ~temporary =
+  kctx.Kctx.stats.s_objects_created <- kctx.Kctx.stats.s_objects_created + 1;
+  {
+    obj_id = Kctx.fresh_obj_id kctx;
+    obj_size = size;
+    pager;
+    obj_pages = Hashtbl.create 16;
+    ref_count = 1;
+    can_persist = false;
+    backing = None;
+    temporary;
+    obj_alive = true;
+    paging_in_progress = 0;
+  }
+
+let create_anonymous kctx ~size = make kctx ~size ~pager:No_pager ~temporary:true
+
+let create_shadow kctx ~backs ~offset ~size =
+  backs.ref_count <- backs.ref_count + 1;
+  let obj = make kctx ~size ~pager:No_pager ~temporary:true in
+  obj.backing <- Some { back_obj = backs; back_offset = offset };
+  obj
+
+let find_by_port kctx port = Hashtbl.find_opt kctx.Kctx.objects_by_port (Port.id port)
+
+let create_external kctx ~memory_object ~size =
+  match find_by_port kctx memory_object with
+  | Some obj ->
+    obj.ref_count <- obj.ref_count + 1;
+    if obj.ref_count = 1 then
+      (* Revived from the cache: §9's repeated-use win. *)
+      kctx.Kctx.cached_objects <- List.filter (fun o -> o != obj) kctx.Kctx.cached_objects;
+    if size > obj.obj_size then obj.obj_size <- size;
+    obj
+  | None ->
+    let pager =
+      Pager
+        {
+          memory_object;
+          request_port = None;
+          name_port = None;
+          initialized = false;
+          init_wait = Mach_sim.Ivar.create ();
+          is_default = false;
+        }
+    in
+    let obj = make kctx ~size ~pager ~temporary:false in
+    Hashtbl.replace kctx.Kctx.objects_by_port (Port.id memory_object) obj;
+    obj
+
+let reference obj = obj.ref_count <- obj.ref_count + 1
+
+let destroy_pages kctx obj =
+  let rec drain () =
+    let pages = Hashtbl.fold (fun _ p acc -> p :: acc) obj.obj_pages [] in
+    match pages with
+    | [] -> ()
+    | _ ->
+      List.iter
+        (fun p ->
+          Vm_page.wait_unbusy p;
+          (* The page may have been freed or renamed while we waited. *)
+          if p.p_obj == obj && Hashtbl.mem obj.obj_pages p.p_offset then Vm_page.free kctx p)
+        pages;
+      drain ()
+  in
+  drain ()
+
+let rec deallocate kctx obj =
+  if obj.ref_count <= 0 then invalid_arg "Vm_object.deallocate: no references";
+  obj.ref_count <- obj.ref_count - 1;
+  if obj.ref_count = 0 then begin
+    let cacheable =
+      obj.can_persist && (match obj.pager with Pager p -> not p.is_default | No_pager -> false)
+    in
+    if cacheable then kctx.Kctx.cached_objects <- obj :: kctx.Kctx.cached_objects
+    else begin
+      let backing = obj.backing in
+      kctx.Kctx.obj_terminator kctx obj;
+      match backing with
+      | Some { back_obj; _ } -> deallocate kctx back_obj
+      | None -> ()
+    end
+  end
+
+let lookup_chain obj ~offset =
+  let rec walk cur off depth =
+    match Vm_page.lookup cur ~offset:off with
+    | Some page -> Some (page, cur, depth)
+    | None -> (
+      match cur.backing with
+      | Some { back_obj; back_offset } -> walk back_obj (off + back_offset) (depth + 1)
+      | None -> None)
+  in
+  walk obj offset 0
+
+let chain_has_pager obj ~offset =
+  let rec walk cur off =
+    match cur.pager with
+    | Pager _ -> Some (cur, off)
+    | No_pager -> (
+      match cur.backing with
+      | Some { back_obj; back_offset } -> walk back_obj (off + back_offset)
+      | None -> None)
+  in
+  walk obj offset
+
+let chain_depth obj =
+  let rec go acc = function
+    | { backing = Some { back_obj; _ }; _ } -> go (acc + 1) back_obj
+    | _ -> acc
+  in
+  go 0 obj
+
+(* Splice out one collapsible backing object; true if progress was
+   made. A backing object is collapsible when this object is its only
+   user, it is anonymous and temporary (no manager owns the bytes), and
+   no paging traffic is in flight. *)
+let collapse_once kctx obj =
+  match obj.backing with
+  | Some { back_obj = b; back_offset = delta } when
+      b.ref_count = 1 && b.temporary && b.obj_alive && b.paging_in_progress = 0
+      && (match b.pager with No_pager -> true | Pager _ -> false) ->
+    let pages = Hashtbl.fold (fun _ p acc -> p :: acc) b.obj_pages [] in
+    List.iter
+      (fun (page : page) ->
+        if page.busy then ()
+        else begin
+          let up_offset = page.p_offset - delta in
+          if
+            up_offset >= 0
+            && up_offset < Kctx.round_page kctx obj.obj_size
+            && not (Hashtbl.mem obj.obj_pages up_offset)
+          then Vm_page.rename kctx page obj ~offset:up_offset
+          else
+            (* Shadowed above (or out of view): the copy below is
+               unreachable and can go. *)
+            Vm_page.free kctx page
+        end)
+      pages;
+    if Hashtbl.length b.obj_pages = 0 then begin
+      (* Splice: obj inherits b's backing (and its reference). *)
+      obj.backing <-
+        (match b.backing with
+        | Some { back_obj = bb; back_offset = bd } -> Some { back_obj = bb; back_offset = delta + bd }
+        | None -> None);
+      b.obj_alive <- false;
+      b.ref_count <- 0;
+      kctx.Kctx.stats.s_collapses <- kctx.Kctx.stats.s_collapses + 1;
+      true
+    end
+    else false (* busy pages remain; try again another time *)
+  | Some _ | None -> false
+
+let collapse kctx obj =
+  if kctx.Kctx.enable_collapse then
+    while collapse_once kctx obj do
+      ()
+    done
+
+let size_pages kctx obj = Kctx.pages_of_bytes kctx obj.obj_size
+let resident_count obj = Hashtbl.length obj.obj_pages
+
+let pp fmt obj =
+  let pager =
+    match obj.pager with
+    | No_pager -> "anon"
+    | Pager p -> if p.is_default then "default" else "external"
+  in
+  Format.fprintf fmt "obj#%d{%s size=%d resident=%d refs=%d%s%s}" obj.obj_id pager obj.obj_size
+    (resident_count obj) obj.ref_count
+    (if obj.backing = None then "" else " shadow")
+    (if obj.obj_alive then "" else " dead")

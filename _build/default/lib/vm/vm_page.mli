@@ -1,0 +1,52 @@
+(** Resident page operations (§5.3).
+
+    A resident page structure corresponds to exactly one physical frame
+    and records the memory object and offset it caches, the
+    manager-imposed access lock, and everywhere it is validated in
+    hardware (so it can be invalidated). *)
+
+open Vm_types
+
+val insert :
+  Kctx.t ->
+  obj ->
+  offset:int ->
+  frame:int ->
+  busy:bool ->
+  absent:bool ->
+  page
+(** Create a page caching [obj@offset] in [frame] and enter it in the
+    object's page hash. Raises [Invalid_argument] if the offset is not
+    page-aligned or already cached. *)
+
+val lookup : obj -> offset:int -> page option
+(** The §5.3 virtual-to-physical lookup for one object. *)
+
+val wait_unbusy : page -> unit
+(** Block until the page is not busy (data arrived / pageout done). *)
+
+val set_unbusy : page -> unit
+(** Clear busy and wake waiters. *)
+
+val add_mapping : page -> Mach_hw.Pmap.t -> vpn:int -> unit
+val drop_mapping : page -> Mach_hw.Pmap.t -> vpn:int -> unit
+
+val remove_all_mappings : Kctx.t -> page -> unit
+(** Invalidate every hardware translation of this page (charging one map
+    operation each), harvesting modify bits into [page.dirty] first. *)
+
+val protect_mappings : Kctx.t -> page -> Mach_hw.Prot.t -> unit
+(** Reduce every mapping's protection (e.g. write-protect for COW). *)
+
+val harvest_bits : Kctx.t -> page -> unit
+(** Pull the hardware reference/modify bits into the page structure
+    ([dirty]) and clear them. *)
+
+val free : Kctx.t -> page -> unit
+(** Remove from its object, the queues and all pmaps; release the frame.
+    The page must not be busy. *)
+
+val rename : Kctx.t -> page -> obj -> offset:int -> unit
+(** Move the page to cache a different (object, offset) — used by
+    double paging to hand a dirty page to a holding object. Existing
+    hardware mappings are removed. *)

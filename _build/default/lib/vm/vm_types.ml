@@ -1,0 +1,144 @@
+(** Core virtual-memory data structures (§5 of the paper).
+
+    Memory objects and resident pages reference each other, so both
+    records live here; the operation modules ({!Vm_object}, {!Vm_page},
+    {!Vm_map}, {!Fault}, …) work over these types.
+
+    Divergence note: the paper keeps a single global virtual-to-physical
+    hash table chained through resident page structures plus a per-object
+    page list. We keep one hash table per object, which serves both
+    roles — lookup by (object, offset) and expedient teardown — with the
+    same asymptotics. *)
+
+module Waitq = Mach_sim.Waitq
+module Ivar = Mach_sim.Ivar
+
+type port = Mach_ipc.Message.port
+
+(** Inheritance attribute of an address range (§3.3, [vm_inherit]). *)
+type inheritance = Inherit_share | Inherit_copy | Inherit_none
+
+let inheritance_to_string = function
+  | Inherit_share -> "share"
+  | Inherit_copy -> "copy"
+  | Inherit_none -> "none"
+
+(** Which queue a resident page is on (§5.4). *)
+type queue_state = Q_none | Q_active | Q_inactive
+
+type obj = {
+  obj_id : int;
+  mutable obj_size : int;  (** bytes *)
+  mutable pager : pager_binding;
+  obj_pages : (int, page) Hashtbl.t;  (** page-aligned offset → resident page *)
+  mutable ref_count : int;  (** address-map references *)
+  mutable can_persist : bool;  (** data manager called pager_cache(true) *)
+  mutable backing : backing option;  (** shadow chain: where to look next *)
+  mutable temporary : bool;
+      (** contents need not outlive the object (shadow / anonymous) *)
+  mutable obj_alive : bool;
+  mutable paging_in_progress : int;  (** in-flight pager operations *)
+}
+
+and backing = { back_obj : obj; back_offset : int }
+
+and pager_binding =
+  | No_pager  (** anonymous memory, never paged out: zero-fill *)
+  | Pager of extpager
+
+and extpager = {
+  memory_object : port;  (** manager holds receive rights *)
+  mutable request_port : port option;  (** kernel holds receive rights *)
+  mutable name_port : port option;
+  mutable initialized : bool;
+  init_wait : unit Ivar.t;
+  is_default : bool;  (** trusted default pager (§6.2.2) *)
+}
+
+and page = {
+  mutable frame : int;  (** physical frame holding the data *)
+  mutable p_obj : obj;
+  mutable p_offset : int;  (** page-aligned offset within p_obj *)
+  mutable wire_count : int;
+  mutable busy : bool;  (** in transit (pagein/pageout); waiters queue *)
+  mutable absent : bool;  (** placeholder: data requested, not yet arrived *)
+  mutable p_error : bool;  (** the data request failed *)
+  busy_wait : Waitq.t;
+  mutable page_lock : Mach_hw.Prot.t;  (** accesses forbidden by the manager *)
+  mutable unlock_requested : bool;  (** pager_data_unlock already sent *)
+  mutable dirty : bool;
+  mutable q_state : queue_state;
+  mutable q_node : page Mach_util.Dlist.node option;
+  mutable mappings : (Mach_hw.Pmap.t * int) list;  (** (pmap, vpn) validations *)
+}
+
+(** A dirty page handed to a data manager by [pager_data_write] parks
+    its frame in a holding record until the manager releases the data —
+    or until the kernel rescues itself by paging the data out to the
+    default pager (§6.2.2 double paging). *)
+type holding = {
+  h_write_id : int;
+  h_frame : int;
+  h_data : bytes;
+  mutable h_released : bool;
+}
+
+(** Kernel VM statistics, in the spirit of [vm_statistics] (Table 3-3). *)
+type stats = {
+  mutable s_faults : int;
+  mutable s_zero_fill : int;
+  mutable s_cow_faults : int;
+  mutable s_pageins : int;
+  mutable s_pageouts : int;
+  mutable s_hits : int;  (** faults satisfied by a resident page *)
+  mutable s_reactivations : int;
+  mutable s_unlock_requests : int;
+  mutable s_flushes : int;
+  mutable s_objects_created : int;
+  mutable s_pages_freed : int;
+  mutable s_data_requests : int;
+  mutable s_data_provided : int;
+  mutable s_data_unavailable : int;
+  mutable s_pageout_to_default : int;  (** §6.2.2 double-paging rescues *)
+  mutable s_collapses : int;  (** shadow chains merged away *)
+}
+
+let fresh_stats () =
+  {
+    s_faults = 0;
+    s_zero_fill = 0;
+    s_cow_faults = 0;
+    s_pageins = 0;
+    s_pageouts = 0;
+    s_hits = 0;
+    s_reactivations = 0;
+    s_unlock_requests = 0;
+    s_flushes = 0;
+    s_objects_created = 0;
+    s_pages_freed = 0;
+    s_data_requests = 0;
+    s_data_provided = 0;
+    s_data_unavailable = 0;
+    s_pageout_to_default = 0;
+    s_collapses = 0;
+  }
+
+let stats_to_list s =
+  [
+    ("faults", s.s_faults);
+    ("zero_fill", s.s_zero_fill);
+    ("cow_faults", s.s_cow_faults);
+    ("pageins", s.s_pageins);
+    ("pageouts", s.s_pageouts);
+    ("hits", s.s_hits);
+    ("reactivations", s.s_reactivations);
+    ("unlock_requests", s.s_unlock_requests);
+    ("flushes", s.s_flushes);
+    ("objects_created", s.s_objects_created);
+    ("pages_freed", s.s_pages_freed);
+    ("data_requests", s.s_data_requests);
+    ("data_provided", s.s_data_provided);
+    ("data_unavailable", s.s_data_unavailable);
+    ("pageout_to_default", s.s_pageout_to_default);
+    ("collapses", s.s_collapses);
+  ]

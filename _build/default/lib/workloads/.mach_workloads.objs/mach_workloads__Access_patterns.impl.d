@@ -1,0 +1,1 @@
+lib/workloads/access_patterns.ml: List Mach_util

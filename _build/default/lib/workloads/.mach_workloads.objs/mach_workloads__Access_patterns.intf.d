@@ -1,0 +1,1 @@
+lib/workloads/access_patterns.mli: Mach_util

@@ -1,0 +1,1 @@
+lib/workloads/compile_sim.ml: Bytes Char Filename List Mach_baseline Mach_fs Mach_hw Mach_kernel Mach_pagers Mach_sim Mach_util Printf

@@ -1,0 +1,1 @@
+lib/workloads/compile_sim.mli: Mach_baseline Mach_hw Mach_ipc Mach_kernel Mach_sim Mach_util

@@ -1,0 +1,104 @@
+module Rng = Mach_util.Rng
+module Engine = Mach_sim.Engine
+module Disk = Mach_hw.Disk
+module Syscalls = Mach_kernel.Syscalls
+module Minimal_fs = Mach_pagers.Minimal_fs
+module Unix_fs = Mach_baseline.Unix_fs
+
+type project = {
+  sources : (string * int) list;
+  headers : (string * int) list;
+  headers_per_source : int;
+}
+
+let generate rng ~sources ~source_bytes ~headers ~header_bytes ~headers_per_source =
+  let jitter base = max 256 (base + Rng.int_in rng (-(base / 4)) (base / 4)) in
+  {
+    sources = List.init sources (fun i -> (Printf.sprintf "src%03d.c" i, jitter source_bytes));
+    headers = List.init headers (fun i -> (Printf.sprintf "hdr%03d.h" i, jitter header_bytes));
+    headers_per_source;
+  }
+
+let project_bytes p =
+  List.fold_left (fun a (_, s) -> a + s) 0 p.sources
+  + List.fold_left (fun a (_, s) -> a + s) 0 p.headers
+
+type ops = {
+  read_file : string -> int;
+  write_file : string -> bytes -> unit;
+  compute : float -> unit;
+  io_ops : unit -> int;
+}
+
+let populate ops rng p =
+  let fill (name, size) =
+    let data = Bytes.init size (fun _ -> Char.chr (Rng.int_in rng 32 126)) in
+    ops.write_file name data
+  in
+  List.iter fill p.sources;
+  List.iter fill p.headers
+
+(* Which headers a source includes: deterministic spread so every build
+   re-reads the same shared set. *)
+let headers_of p idx =
+  let n = List.length p.headers in
+  List.init (min p.headers_per_source n) (fun k -> List.nth p.headers ((idx + (k * 7)) mod n))
+
+(* 1987-grade compiler: ~2 µs of CPU per byte of program text consumed. *)
+let compute_us_per_byte = 2.0
+
+let build ops p =
+  List.iteri
+    (fun idx (src, _) ->
+      let consumed = ref 0 in
+      consumed := !consumed + ops.read_file src;
+      List.iter (fun (h, _) -> consumed := !consumed + ops.read_file h) (headers_of p idx);
+      ops.compute (float_of_int !consumed *. compute_us_per_byte);
+      let obj_size = max 512 (!consumed / 10) in
+      ops.write_file (Filename.remove_extension src ^ ".o") (Bytes.make obj_size 'O'))
+    p.sources
+
+type measurement = { elapsed_us : float; disk_ops : int }
+
+let measure_build engine ops p =
+  let t0 = Engine.now engine in
+  let io0 = ops.io_ops () in
+  build ops p;
+  { elapsed_us = Engine.now engine -. t0; disk_ops = ops.io_ops () - io0 }
+
+(* --- Mach: mapped files through the §4.1 server ------------------------- *)
+
+let mach_ops task ~server ~disk =
+  let read_file name =
+    match Minimal_fs.Client.read_file task ~server name with
+    | Error _ -> 0
+    | Ok (addr, size) ->
+      (* The compiler walks the text: touch every byte (faulting pages
+         in from the server / the kernel's object cache). *)
+      (match Syscalls.read_bytes task ~addr ~len:size () with Ok _ | Error _ -> ());
+      if size > 0 then Syscalls.vm_deallocate task ~addr ~size;
+      size
+  in
+  let write_file name data =
+    match Minimal_fs.Client.write_file task ~server name data with Ok () | Error _ -> ()
+  in
+  {
+    read_file;
+    write_file;
+    compute = (fun us -> Mach_kernel.Cpu.compute (Mach_kernel.Task.kernel task) us);
+    io_ops = (fun () -> Disk.ops disk);
+  }
+
+(* --- UNIX: read/write through the buffer cache -------------------------- *)
+
+let unix_ops ufs =
+  let read_file name =
+    match Unix_fs.read_file ufs name with Some b -> Bytes.length b | None -> 0
+  in
+  let write_file name data = Unix_fs.write_file ufs name data in
+  {
+    read_file;
+    write_file;
+    compute = (fun us -> Engine.sleep us);
+    io_ops = (fun () -> Disk.ops (Mach_fs.Fs_layout.disk (Unix_fs.fs ufs)));
+  }

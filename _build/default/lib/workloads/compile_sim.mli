@@ -1,0 +1,60 @@
+(** The §9 compilation workload: a synthetic multi-file build whose
+    file-access pattern (every compilation unit re-reads a shared set
+    of headers; rebuilds re-read everything) is what makes a large
+    unified page cache beat a small fixed buffer cache.
+
+    The workload is expressed against an abstract file-operations
+    record, so the identical build runs on the Mach mapped-file path
+    ({!mach_ops}) and on the traditional UNIX read/write path
+    ({!unix_ops}); the two implementations pay their own I/O costs
+    while compute costs are charged identically. *)
+
+type project = {
+  sources : (string * int) list;  (** name, bytes *)
+  headers : (string * int) list;
+  headers_per_source : int;
+}
+
+val generate :
+  Mach_util.Rng.t ->
+  sources:int ->
+  source_bytes:int ->
+  headers:int ->
+  header_bytes:int ->
+  headers_per_source:int ->
+  project
+
+val project_bytes : project -> int
+
+type ops = {
+  read_file : string -> int;
+      (** read the whole file and "use" its contents; returns size *)
+  write_file : string -> bytes -> unit;
+  compute : float -> unit;  (** charge pure CPU time *)
+  io_ops : unit -> int;  (** cumulative disk operations *)
+}
+
+val populate : ops -> Mach_util.Rng.t -> project -> unit
+(** Create every source and header with synthetic contents. *)
+
+val build : ops -> project -> unit
+(** One full build: for each source, read it and its headers, compute
+    (proportional to bytes consumed), write the object file. *)
+
+type measurement = { elapsed_us : float; disk_ops : int }
+
+val measure_build : Mach_sim.Engine.t -> ops -> project -> measurement
+
+(** {2 The two systems under test} *)
+
+val mach_ops :
+  Mach_kernel.Ktypes.task ->
+  server:Mach_ipc.Message.port ->
+  disk:Mach_hw.Disk.t ->
+  ops
+(** Mapped files through the §4.1 filesystem server: [read_file] maps
+    the file and touches every page, [write_file] stores back. *)
+
+val unix_ops : Mach_baseline.Unix_fs.t -> ops
+(** [read]/[write] through the fixed-size buffer cache with
+    kernel/user copies. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bytes Char Gen Hashtbl List Mach_baseline Mach_fs Mach_hw Mach_sim Printf QCheck2 QCheck_alcotest String Test

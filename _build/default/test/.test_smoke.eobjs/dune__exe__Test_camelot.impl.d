@@ -1,0 +1,1 @@
+test/test_camelot.ml: Access Alcotest Bytes Char Disk Engine Kernel Mach Mach_pagers Printf String Syscalls Task Thread Vm_types

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bytes Gen List Mach_hw Mach_sim Option QCheck2 QCheck_alcotest Test

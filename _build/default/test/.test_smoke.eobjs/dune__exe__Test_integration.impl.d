@@ -1,0 +1,1 @@
+test/test_integration.ml: Access Alcotest Array Bytes Char Disk Engine Fault Ivar Kernel List Mach Mach_pagers Printf Syscalls Task Thread Vm_map Vm_object Vm_types

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Access Alcotest Bytes Cpu Engine Ivar Kernel Ktypes List Mach Mach_ipc Machine Message Option Port_space Syscalls Task Thread Vm_types

@@ -1,0 +1,1 @@
+test/test_migrator.ml: Access Alcotest Array Bytes Engine Fault Ivar Kernel Ktypes List Mach Mach_pagers Printf String Syscalls Task Thread

@@ -1,0 +1,1 @@
+test/test_minimal_fs.ml: Access Alcotest Bytes Char Disk Engine Kernel Mach Mach_fs Mach_pagers Syscalls Task Thread

@@ -1,0 +1,1 @@
+test/test_netmem.ml: Access Alcotest Array Bytes Engine Fault Ivar Kernel Mach Mach_pagers Mach_util Message Printf Syscalls Task Thread

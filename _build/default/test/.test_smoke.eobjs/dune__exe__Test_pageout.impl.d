@@ -1,0 +1,1 @@
+test/test_pageout.ml: Access Alcotest Bytes Default_pager Disk Engine Ivar Kctx Kernel Ktypes Mach Option Pageout Printf String Syscalls Task Thread Vm_types

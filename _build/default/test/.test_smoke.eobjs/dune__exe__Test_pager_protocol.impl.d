@@ -1,0 +1,1 @@
+test/test_pager_protocol.ml: Alcotest Bytes Gen Kernel List Mach Mach_hw Mach_ipc Mach_sim Mach_vm Printf QCheck2 QCheck_alcotest Syscalls Task Test Thread

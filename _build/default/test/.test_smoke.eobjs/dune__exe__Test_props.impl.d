@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Bytes Char Disk Engine Fault Gen Hashtbl Ivar Kernel List Mach Mach_pagers Mach_util Printf QCheck2 QCheck_alcotest Syscalls Task Test Thread

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Gen List Mach_sim Printf QCheck2 QCheck_alcotest Test

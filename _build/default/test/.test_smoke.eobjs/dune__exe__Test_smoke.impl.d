@@ -1,0 +1,1 @@
+test/test_smoke.ml: Access Alcotest Bytes Char Engine Ivar Kernel Mach Memory_object_server Message Port_space Prot String Syscalls Task Thread Vm_types

@@ -1,0 +1,1 @@
+test/test_unixemu.ml: Alcotest Bytes Char Disk Engine Kernel Mach Mach_pagers Mach_unixemu Task Thread

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Float Fun Gen List Mach_util Option QCheck2 QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_vm_fault.ml: Access Alcotest Bytes Char Engine Fault Ivar Kernel Ktypes List Mach Mach_hw Mach_ipc Memory_object_server Option Prot String Syscalls Task Thread Vm_map Vm_object Vm_types

@@ -1,0 +1,1 @@
+test/test_vm_map.ml: Alcotest Gen List Mach_hw Mach_ipc Mach_sim Mach_vm QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_vm_object.ml: Alcotest Array Bytes Gen List Mach_hw Mach_ipc Mach_sim Mach_vm Option QCheck2 QCheck_alcotest Test

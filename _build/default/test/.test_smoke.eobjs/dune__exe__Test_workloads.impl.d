@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Hashtbl List Mach_util Mach_workloads

@@ -1,0 +1,200 @@
+(* §4.2: consistent network shared memory across two hosts with
+   independent kernels. *)
+
+open Mach
+module Netmem = Mach_pagers.Netmem
+
+let check = Alcotest.check
+let page = 4096
+
+type env = {
+  cluster : Kernel.cluster;
+  nm : Netmem.t;
+  region : Message.port;
+  a : task;  (** client on host 0 (the server's host) *)
+  b : task;  (** client on host 1 *)
+  a_addr : int;
+  b_addr : int;
+}
+
+let with_shared_region ~size f =
+  let cluster = Kernel.create_cluster ~hosts:2 () in
+  let result = ref None in
+  Engine.spawn cluster.Kernel.c_engine ~name:"setup" (fun () ->
+      let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+      let region = Netmem.create_region nm ~size in
+      let a = Task.create cluster.Kernel.c_kernels.(0) ~name:"client-a" () in
+      let b = Task.create cluster.Kernel.c_kernels.(1) ~name:"client-b" () in
+      ignore
+        (Thread.spawn a ~name:"client-a.main" (fun () ->
+             (* Map at different addresses on the two clients, as the
+                paper notes is allowed. *)
+             let a_addr =
+               Syscalls.vm_allocate_with_pager a ~size ~anywhere:true ~memory_object:region
+                 ~offset:0 ()
+             in
+             let b_addr =
+               Syscalls.vm_allocate_with_pager b ~size ~anywhere:true ~memory_object:region
+                 ~offset:0 ()
+             in
+             result := Some (f { cluster; nm; region; a; b; a_addr; b_addr }))));
+  Engine.run cluster.Kernel.c_engine;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "scenario did not complete (deadlock?)"
+
+let read_str task ~addr ~len =
+  match Syscalls.read_bytes task ~addr ~len () with
+  | Ok b -> Bytes.to_string b
+  | Error e -> Alcotest.failf "%s read: %a" (Task.name task) Access.pp_error e
+
+let write_str task ~addr s =
+  match Syscalls.write_bytes task ~addr (Bytes.of_string s) () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s write: %a" (Task.name task) Access.pp_error e
+
+let test_read_sharing () =
+  with_shared_region ~size:(2 * page) (fun env ->
+      Netmem.write_initial env.nm ~region:env.region ~offset:0 (Bytes.of_string "shared-data");
+      check Alcotest.string "A reads" "shared-data" (read_str env.a ~addr:env.a_addr ~len:11);
+      check Alcotest.string "B reads" "shared-data" (read_str env.b ~addr:env.b_addr ~len:11);
+      (* Both kernels now cache the page read-only. *)
+      match Netmem.page_state env.nm ~region:env.region ~page:0 with
+      | `Readers n -> check Alcotest.int "two reader kernels" 2 n
+      | `Idle | `Writer -> Alcotest.fail "expected readers")
+
+let test_write_invalidates_readers () =
+  with_shared_region ~size:page (fun env ->
+      Netmem.write_initial env.nm ~region:env.region ~offset:0 (Bytes.of_string "vvvvv");
+      ignore (read_str env.a ~addr:env.a_addr ~len:5);
+      ignore (read_str env.b ~addr:env.b_addr ~len:5);
+      let inv_before = Netmem.invalidations env.nm in
+      (* A writes: B (the other reader) must be invalidated first. *)
+      write_str env.a ~addr:env.a_addr "AAAAA";
+      Alcotest.(check bool) "invalidation happened" true (Netmem.invalidations env.nm > inv_before);
+      check Alcotest.string "A sees own write" "AAAAA" (read_str env.a ~addr:env.a_addr ~len:5);
+      (* B re-reads: must observe A's committed write (A's dirty page
+         is pulled back by the server when B's read invalidates A). *)
+      check Alcotest.string "B sees A's write" "AAAAA" (read_str env.b ~addr:env.b_addr ~len:5))
+
+let test_ping_pong () =
+  with_shared_region ~size:page (fun env ->
+      (* Alternating writers force repeated ownership transfer. *)
+      write_str env.a ~addr:env.a_addr "a1";
+      check Alcotest.string "b sees a1" "a1" (read_str env.b ~addr:env.b_addr ~len:2);
+      write_str env.b ~addr:env.b_addr "b2";
+      check Alcotest.string "a sees b2" "b2" (read_str env.a ~addr:env.a_addr ~len:2);
+      write_str env.a ~addr:env.a_addr "a3";
+      check Alcotest.string "b sees a3" "a3" (read_str env.b ~addr:env.b_addr ~len:2);
+      Alcotest.(check bool) "write grants issued" true (Netmem.grants env.nm >= 3))
+
+let test_different_pages_no_conflict () =
+  with_shared_region ~size:(2 * page) (fun env ->
+      (* Writers on different pages should not invalidate each other. *)
+      write_str env.a ~addr:env.a_addr "page0-by-a";
+      write_str env.b ~addr:(env.b_addr + page) "page1-by-b";
+      let inv = Netmem.invalidations env.nm in
+      write_str env.a ~addr:env.a_addr "page0-again";
+      write_str env.b ~addr:(env.b_addr + page) "page1-again";
+      check Alcotest.int "no extra invalidations" inv (Netmem.invalidations env.nm);
+      check Alcotest.string "b sees a's page0" "page0-again"
+        (read_str env.b ~addr:env.b_addr ~len:11))
+
+let test_unmap_cleans_up_client () =
+  with_shared_region ~size:page (fun env ->
+      Netmem.write_initial env.nm ~region:env.region ~offset:0 (Bytes.of_string "zzz");
+      ignore (read_str env.a ~addr:env.a_addr ~len:3);
+      ignore (read_str env.b ~addr:env.b_addr ~len:3);
+      (* B drops its mapping entirely: its kernel terminates the object
+         and the server hears the request port die. *)
+      Syscalls.vm_deallocate env.b ~addr:env.b_addr ~size:page;
+      Engine.sleep 50_000.0;
+      (* A can still write without waiting on the departed kernel. *)
+      write_str env.a ~addr:env.a_addr "AAA";
+      check Alcotest.string "a still works" "AAA" (read_str env.a ~addr:env.a_addr ~len:3))
+
+let test_write_back_on_unmap () =
+  with_shared_region ~size:page (fun env ->
+      (* A writes and unmaps without anyone else reading: the dirty page
+         must flow back to the server (terminate cleans dirty pages). *)
+      write_str env.a ~addr:env.a_addr "precious";
+      Syscalls.vm_deallocate env.a ~addr:env.a_addr ~size:page;
+      Engine.sleep 100_000.0;
+      check Alcotest.string "server received the data" "precious"
+        (Bytes.to_string (Netmem.read_authoritative env.nm ~region:env.region ~offset:0 ~len:8)))
+
+let test_interleaved_stress () =
+  with_shared_region ~size:(4 * page) (fun env ->
+      (* Concurrent mixed traffic on disjoint pages, then a strict
+         cross-check; coherence must hold page-by-page. *)
+      let fin_a = Ivar.create () and fin_b = Ivar.create () in
+      ignore
+        (Thread.spawn env.a ~name:"stress-a" (fun () ->
+             for round = 0 to 9 do
+               write_str env.a ~addr:env.a_addr (Printf.sprintf "a%02d" round);
+               ignore (read_str env.a ~addr:(env.a_addr + page) ~len:3)
+             done;
+             Ivar.fill fin_a ()));
+      ignore
+        (Thread.spawn env.b ~name:"stress-b" (fun () ->
+             for round = 0 to 9 do
+               write_str env.b ~addr:(env.b_addr + page) (Printf.sprintf "b%02d" round);
+               ignore (read_str env.b ~addr:env.b_addr ~len:3)
+             done;
+             Ivar.fill fin_b ()));
+      Ivar.read fin_a;
+      Ivar.read fin_b;
+      check Alcotest.string "b sees a's last" "a09" (read_str env.b ~addr:env.b_addr ~len:3);
+      check Alcotest.string "a sees b's last" "b09" (read_str env.a ~addr:(env.a_addr + page) ~len:3))
+
+(* Regression: a writer waiting for the manager's unlock while its page
+   is flushed out from under it must refault, not time out (found by a
+   3-host contention storm). *)
+let test_three_host_contention_storm () =
+  let pages = 4 in
+  let cluster = Kernel.create_cluster ~hosts:3 () in
+  let finished = ref 0 in
+  Engine.spawn cluster.Kernel.c_engine ~name:"setup" (fun () ->
+      let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+      let region = Netmem.create_region nm ~size:(pages * page) in
+      for host = 0 to 2 do
+        let task =
+          Task.create cluster.Kernel.c_kernels.(host) ~name:(Printf.sprintf "storm-%d" host) ()
+        in
+        ignore
+          (Thread.spawn task ~name:(Printf.sprintf "storm-%d.main" host) (fun () ->
+               let addr =
+                 Syscalls.vm_allocate_with_pager task ~size:(pages * page) ~anywhere:true
+                   ~memory_object:region ~offset:0 ()
+               in
+               let rng = Mach_util.Rng.create ((host * 7) + 3) in
+               for _ = 0 to 199 do
+                 let p = Mach_util.Rng.int rng pages in
+                 let w = Mach_util.Rng.float rng 1.0 < 0.1 in
+                 match
+                   Syscalls.touch task ~addr:(addr + (p * page)) ~write:w
+                     ~policy:(Fault.Abort_after 10_000_000.0) ()
+                 with
+                 | Ok () -> ()
+                 | Error e -> Alcotest.failf "storm access: %a" Access.pp_error e
+               done;
+               incr finished))
+      done);
+  Engine.run cluster.Kernel.c_engine;
+  check Alcotest.int "all three hosts completed" 3 !finished
+
+let () =
+  Alcotest.run "netmem"
+    [
+      ( "coherence",
+        [
+          Alcotest.test_case "read sharing across hosts" `Quick test_read_sharing;
+          Alcotest.test_case "write invalidates readers" `Quick test_write_invalidates_readers;
+          Alcotest.test_case "ownership ping-pong" `Quick test_ping_pong;
+          Alcotest.test_case "distinct pages are independent" `Quick test_different_pages_no_conflict;
+          Alcotest.test_case "unmap cleans up a client" `Quick test_unmap_cleans_up_client;
+          Alcotest.test_case "dirty data written back on unmap" `Quick test_write_back_on_unmap;
+          Alcotest.test_case "interleaved stress stays coherent" `Quick test_interleaved_stress;
+          Alcotest.test_case "three-host contention storm" `Quick test_three_host_contention_storm;
+        ] );
+    ]

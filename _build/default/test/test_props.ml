@@ -1,0 +1,211 @@
+(* System-level property tests: copy-on-write isolation under random
+   interleavings, shared-memory coherence under random schedules, and
+   WAL recovery at random crash points. *)
+
+open Mach
+module Rng = Mach_util.Rng
+module Netmem = Mach_pagers.Netmem
+module Camelot = Mach_pagers.Camelot
+
+let page = 4096
+
+(* --- COW isolation: parent and a set of forked children performing a
+   random interleaving of writes must end with exactly the bytes each
+   one wrote (plus inherited data where untouched). --- *)
+
+let cow_isolation_prop =
+  let open QCheck2 in
+  let gen =
+    Gen.(
+      pair (int_range 1 3) (* children *)
+        (list_size (int_range 1 30)
+           (tup3 (int_range 0 3) (* actor: 0 = parent *)
+              (int_range 0 7) (* page *)
+              (int_range 0 255) (* value *))))
+  in
+  Test.make ~name:"fork COW isolation under random write interleavings" ~count:25 gen
+    (fun (nchildren, writes) ->
+      let sys = Kernel.create_system () in
+      let verdict = ref true in
+      Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
+          let parent = Task.create sys.Kernel.kernel ~name:"p" () in
+          let done_ = Ivar.create () in
+          ignore
+            (Thread.spawn parent ~name:"p.main" (fun () ->
+                 let addr = Syscalls.vm_allocate parent ~size:(8 * page) ~anywhere:true () in
+                 (* Seed every page with a known value. *)
+                 for pg = 0 to 7 do
+                   ignore
+                     (Syscalls.write_bytes parent ~addr:(addr + (pg * page)) (Bytes.make 1 '\001') ())
+                 done;
+                 let children =
+                   List.init nchildren (fun i ->
+                       Task.create sys.Kernel.kernel ~parent ~name:(Printf.sprintf "c%d" i) ())
+                 in
+                 let tasks = Array.of_list (parent :: children) in
+                 (* A model of each task's expected memory. *)
+                 let model = Array.init (nchildren + 1) (fun _ -> Array.make 8 1) in
+                 List.iter
+                   (fun (actor, pg, v) ->
+                     let actor = actor mod (nchildren + 1) in
+                     let t = tasks.(actor) in
+                     (match
+                        Syscalls.write_bytes t ~addr:(addr + (pg * page))
+                          (Bytes.make 1 (Char.chr v)) ()
+                      with
+                     | Ok () -> ()
+                     | Error _ -> verdict := false);
+                     model.(actor).(pg) <- v)
+                   writes;
+                 (* Verify every task sees exactly its model. *)
+                 Array.iteri
+                   (fun actor t ->
+                     for pg = 0 to 7 do
+                       match Syscalls.read_bytes t ~addr:(addr + (pg * page)) ~len:1 () with
+                       | Ok b ->
+                         if Bytes.get_uint8 b 0 <> model.(actor).(pg) then verdict := false
+                       | Error _ -> verdict := false
+                     done)
+                   tasks;
+                 Ivar.fill done_ ()));
+          ignore done_);
+      Engine.run sys.Kernel.engine;
+      !verdict)
+
+(* --- Netmem coherence: alternating sequential operations from two
+   hosts; after any write completes, the next read from the other host
+   must see it (operations are sequential, so the protocol's
+   invalidation must deliver exact coherence). --- *)
+
+let netmem_coherence_prop =
+  let open QCheck2 in
+  let gen =
+    Gen.(list_size (int_range 1 25) (tup3 bool (int_range 0 3) (int_range 1 255)))
+  in
+  Test.make ~name:"netmem sequential coherence across hosts" ~count:20 gen (fun ops ->
+      let cluster = Kernel.create_cluster ~hosts:2 () in
+      let verdict = ref true in
+      Engine.spawn cluster.Kernel.c_engine ~name:"setup" (fun () ->
+          let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+          let region = Netmem.create_region nm ~size:(4 * page) in
+          let a = Task.create cluster.Kernel.c_kernels.(0) ~name:"a" () in
+          let b = Task.create cluster.Kernel.c_kernels.(1) ~name:"b" () in
+          ignore
+            (Thread.spawn a ~name:"driver" (fun () ->
+                 let a_addr =
+                   Syscalls.vm_allocate_with_pager a ~size:(4 * page) ~anywhere:true
+                     ~memory_object:region ~offset:0 ()
+                 in
+                 let b_addr =
+                   Syscalls.vm_allocate_with_pager b ~size:(4 * page) ~anywhere:true
+                     ~memory_object:region ~offset:0 ()
+                 in
+                 let model = Array.make 4 0 in
+                 List.iter
+                   (fun (use_a, pg, v) ->
+                     let t, base = if use_a then (a, a_addr) else (b, b_addr) in
+                     (match
+                        Syscalls.write_bytes t ~addr:(base + (pg * page)) (Bytes.make 1 (Char.chr v))
+                          ~policy:(Fault.Abort_after 30_000_000.0) ()
+                      with
+                     | Ok () -> model.(pg) <- v
+                     | Error _ -> verdict := false);
+                     (* The *other* host reads it back immediately. *)
+                     let ot, obase = if use_a then (b, b_addr) else (a, a_addr) in
+                     match
+                       Syscalls.read_bytes ot ~addr:(obase + (pg * page)) ~len:1
+                         ~policy:(Fault.Abort_after 30_000_000.0) ()
+                     with
+                     | Ok bytes -> if Bytes.get_uint8 bytes 0 <> model.(pg) then verdict := false
+                     | Error _ -> verdict := false)
+                   ops)));
+      Engine.run cluster.Kernel.c_engine;
+      !verdict)
+
+(* --- Camelot: commit a random number of transactions, leave one
+   uncommitted, crash, recover — committed values survive exactly. --- *)
+
+let camelot_recovery_prop =
+  let open QCheck2 in
+  let gen = Gen.(list_size (int_range 1 6) (pair (int_range 0 15) (int_range 1 255))) in
+  Test.make ~name:"camelot recovery preserves exactly committed state" ~count:15 gen
+    (fun committed_writes ->
+      let scratch = Engine.create () in
+      let log_disk = Disk.create scratch ~name:"plog" ~blocks:256 ~block_size:page () in
+      let data_disk = Disk.create scratch ~name:"pdata" ~blocks:256 ~block_size:page () in
+      let verdict = ref true in
+      (* Epoch 1: committed writes + one uncommitted poison write. *)
+      let sys = Kernel.create_system () in
+      let ld = Disk.reattach log_disk sys.Kernel.engine in
+      let dd = Disk.reattach data_disk sys.Kernel.engine in
+      Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
+          let cam = Camelot.start sys.Kernel.kernel ~log_disk:ld ~data_disk:dd ~format:true () in
+          let client = Task.create sys.Kernel.kernel ~name:"c" () in
+          ignore
+            (Thread.spawn client ~name:"c.main" (fun () ->
+                 let server = Camelot.service_port cam in
+                 match Camelot.Client.map_segment client ~server "s" ~size:page with
+                 | Error _ -> verdict := false
+                 | Ok base ->
+                   List.iter
+                     (fun (slot, v) ->
+                       match Camelot.Client.begin_txn client ~server with
+                       | Error _ -> verdict := false
+                       | Ok tid -> (
+                         (match
+                            Camelot.Client.store client ~server tid ~segment:"s" ~base
+                              ~offset:(slot * 16) (Bytes.make 1 (Char.chr v))
+                          with
+                         | Ok () -> ()
+                         | Error _ -> verdict := false);
+                         match Camelot.Client.commit client ~server tid with
+                         | Ok () -> ()
+                         | Error _ -> verdict := false))
+                     committed_writes;
+                   (* Uncommitted poison at slot 63. *)
+                   (match Camelot.Client.begin_txn client ~server with
+                   | Ok tid ->
+                     ignore
+                       (Camelot.Client.store client ~server tid ~segment:"s" ~base
+                          ~offset:(63 * 16) (Bytes.make 1 '\255'))
+                   | Error _ -> verdict := false))));
+      Engine.run sys.Kernel.engine;
+      (* Crash; epoch 2 recovers. *)
+      let sys2 = Kernel.create_system () in
+      let ld2 = Disk.reattach log_disk sys2.Kernel.engine in
+      let dd2 = Disk.reattach data_disk sys2.Kernel.engine in
+      Engine.spawn sys2.Kernel.engine ~name:"setup" (fun () ->
+          let cam = Camelot.start sys2.Kernel.kernel ~log_disk:ld2 ~data_disk:dd2 ~format:false () in
+          let client = Task.create sys2.Kernel.kernel ~name:"c2" () in
+          ignore
+            (Thread.spawn client ~name:"c2.main" (fun () ->
+                 let server = Camelot.service_port cam in
+                 match Camelot.Client.map_segment client ~server "s" ~size:page with
+                 | Error _ -> verdict := false
+                 | Ok base ->
+                   (* Last committed value per slot. *)
+                   let expected = Hashtbl.create 16 in
+                   List.iter (fun (slot, v) -> Hashtbl.replace expected slot v) committed_writes;
+                   Hashtbl.iter
+                     (fun slot v ->
+                       match Syscalls.read_bytes client ~addr:(base + (slot * 16)) ~len:1 () with
+                       | Ok b -> if Bytes.get_uint8 b 0 <> v then verdict := false
+                       | Error _ -> verdict := false)
+                     expected;
+                   (* The poison never committed. *)
+                   (match Syscalls.read_bytes client ~addr:(base + (63 * 16)) ~len:1 () with
+                   | Ok b -> if Bytes.get_uint8 b 0 = 255 then verdict := false
+                   | Error _ -> verdict := false))));
+      Engine.run sys2.Kernel.engine;
+      !verdict)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "system-properties",
+        [
+          QCheck_alcotest.to_alcotest cow_isolation_prop;
+          QCheck_alcotest.to_alcotest netmem_coherence_prop;
+          QCheck_alcotest.to_alcotest camelot_recovery_prop;
+        ] );
+    ]

@@ -1,0 +1,468 @@
+(* Tests for the discrete-event engine and its synchronisation
+   primitives. *)
+
+module Engine = Mach_sim.Engine
+module Ivar = Mach_sim.Ivar
+module Mailbox = Mach_sim.Mailbox
+module Semaphore = Mach_sim.Semaphore
+module Waitq = Mach_sim.Waitq
+
+let check = Alcotest.check
+
+(* ---- engine ------------------------------------------------------------- *)
+
+let test_event_ordering () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~at:30.0 (fun () -> log := 3 :: !log);
+  Engine.schedule eng ~at:10.0 (fun () -> log := 1 :: !log);
+  Engine.schedule eng ~at:20.0 (fun () -> log := 2 :: !log);
+  Engine.run eng;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last event" 30.0 (Engine.now eng)
+
+let test_tie_break_by_sequence () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 10 do
+    Engine.schedule eng ~at:5.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run eng;
+  check Alcotest.(list int) "fifo among equal times" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !log)
+
+let test_sleep_advances_time () =
+  let eng = Engine.create () in
+  let seen = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      Engine.sleep 123.0;
+      Engine.sleep 77.0;
+      seen := Engine.now eng);
+  Engine.run eng;
+  check (Alcotest.float 1e-9) "slept" 200.0 !seen
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  Engine.schedule eng ~at:1000.0 (fun () -> fired := true);
+  Engine.run ~until:500.0 eng;
+  Alcotest.(check bool) "not yet" false !fired;
+  check (Alcotest.float 1e-9) "clock clamped" 500.0 (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "eventually" true !fired
+
+let test_spawn_nested () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  Engine.spawn eng ~name:"outer" (fun () ->
+      order := "outer-start" :: !order;
+      Engine.spawn eng ~name:"inner" (fun () -> order := "inner" :: !order);
+      Engine.sleep 1.0;
+      order := "outer-end" :: !order);
+  Engine.run eng;
+  check Alcotest.(list string) "interleaving" [ "outer-start"; "inner"; "outer-end" ]
+    (List.rev !order)
+
+let test_exception_propagates () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> failwith "boom");
+  Alcotest.check_raises "thread exception surfaces" (Failure "boom") (fun () -> Engine.run eng)
+
+let test_deadlock_detection () =
+  let eng = Engine.create () in
+  let iv : unit Ivar.t = Ivar.create () in
+  Engine.spawn eng ~name:"stuck-thread" (fun () -> Ivar.read iv);
+  Engine.run eng;
+  check Alcotest.int "one live blocked thread" 1 (Engine.live eng);
+  check Alcotest.(list string) "named" [ "stuck-thread" ] (Engine.blocked_names eng)
+
+let test_self_name () =
+  let eng = Engine.create () in
+  let name = ref "" in
+  Engine.spawn eng ~name:"me" (fun () -> name := Engine.self_name ());
+  Engine.run eng;
+  check Alcotest.string "self name" "me" !name
+
+let test_determinism_across_runs () =
+  let run () =
+    let eng = Engine.create () in
+    let log = Buffer.create 64 in
+    for i = 0 to 4 do
+      Engine.spawn eng ~name:(Printf.sprintf "t%d" i) (fun () ->
+          Engine.sleep (float_of_int (10 - i));
+          Buffer.add_string log (Printf.sprintf "%d@%.0f;" i (Engine.now eng));
+          Engine.sleep (float_of_int i);
+          Buffer.add_string log (Printf.sprintf "%d@%.0f;" i (Engine.now eng)))
+    done;
+    Engine.run eng;
+    Buffer.contents log
+  in
+  check Alcotest.string "identical traces" (run ()) (run ())
+
+(* qcheck: arbitrary programs of spawns/sleeps/sends produce identical
+   traces on re-execution — the engine is deterministic by
+   construction. *)
+let determinism_prop =
+  let open QCheck2 in
+  let op_gen =
+    Gen.(
+      oneof
+        [
+          map (fun d -> `Sleep (float_of_int (d mod 50))) small_nat;
+          map (fun v -> `Send v) small_nat;
+          pure `Recv;
+          map (fun d -> `Spawn_child (float_of_int (d mod 20))) small_nat;
+        ])
+  in
+  Test.make ~name:"random programs replay identically" ~count:50
+    Gen.(list_size (int_range 1 12) (small_list op_gen))
+    (fun programs ->
+      let run () =
+        let eng = Engine.create () in
+        let mb = Mailbox.create () in
+        let trace = Buffer.create 256 in
+        List.iteri
+          (fun i ops ->
+            Engine.spawn eng ~name:(Printf.sprintf "prog-%d" i) (fun () ->
+                List.iter
+                  (fun op ->
+                    match op with
+                    | `Sleep d -> Engine.sleep d
+                    | `Send v ->
+                      Mailbox.send mb v;
+                      Buffer.add_string trace (Printf.sprintf "%d:s%d@%.0f;" i v (Engine.now eng))
+                    | `Recv -> (
+                      match Mailbox.recv_timeout mb ~timeout:100.0 with
+                      | Some v ->
+                        Buffer.add_string trace
+                          (Printf.sprintf "%d:r%d@%.0f;" i v (Engine.now eng))
+                      | None -> Buffer.add_string trace (Printf.sprintf "%d:rT@%.0f;" i (Engine.now eng)))
+                    | `Spawn_child d ->
+                      Engine.spawn eng ~name:(Printf.sprintf "child-%d" i) (fun () ->
+                          Engine.sleep d;
+                          Buffer.add_string trace (Printf.sprintf "%d:c@%.0f;" i (Engine.now eng))))
+                  ops))
+          programs;
+        Engine.run eng;
+        Buffer.contents trace
+      in
+      run () = run ())
+
+(* ---- ivar --------------------------------------------------------------- *)
+
+let test_ivar_fill_then_read () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  Ivar.fill iv 42;
+  Engine.spawn eng (fun () -> got := Ivar.read iv);
+  Engine.run eng;
+  check Alcotest.int "value" 42 !got
+
+let test_ivar_read_then_fill () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        (* Bind before consing: [!got] must be read after the blocking
+           call, not before (right-to-left evaluation). *)
+        let v = Ivar.read iv in
+        got := (i, v) :: !got)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep 10.0;
+      Ivar.fill iv 7);
+  Engine.run eng;
+  check Alcotest.int "all readers woken" 3 (List.length !got);
+  List.iter (fun (_, v) -> check Alcotest.int "value" 7 v) !got
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.(check bool) "try_fill fails" false (Ivar.try_fill iv 2);
+  check Alcotest.(option int) "first value kept" (Some 1) (Ivar.peek iv)
+
+let test_ivar_timeout () =
+  let eng = Engine.create () in
+  let iv : int Ivar.t = Ivar.create () in
+  let got = ref (Some 99) in
+  let at = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      got := Ivar.read_timeout iv ~timeout:50.0;
+      at := Engine.now eng);
+  Engine.run eng;
+  check Alcotest.(option int) "timed out" None !got;
+  check (Alcotest.float 1e-9) "at deadline" 50.0 !at
+
+let test_ivar_timeout_beaten_by_fill () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref None in
+  Engine.spawn eng (fun () -> got := Ivar.read_timeout iv ~timeout:100.0);
+  Engine.spawn eng (fun () ->
+      Engine.sleep 10.0;
+      Ivar.fill iv 5);
+  Engine.run eng;
+  check Alcotest.(option int) "filled in time" (Some 5) !got
+
+(* ---- mailbox ------------------------------------------------------------ *)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      for i = 1 to 5 do
+        Mailbox.send mb i
+      done);
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 5 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Engine.run eng;
+  check Alcotest.(list int) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_mailbox_capacity_blocks_sender () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create ~capacity:2 () in
+  let sent_all_at = ref 0.0 in
+  Engine.spawn eng ~name:"producer" (fun () ->
+      for i = 1 to 3 do
+        Mailbox.send mb i
+      done;
+      sent_all_at := Engine.now eng);
+  Engine.spawn eng ~name:"consumer" (fun () ->
+      Engine.sleep 100.0;
+      ignore (Mailbox.recv mb));
+  Engine.run eng;
+  (* The third send had to wait for the consumer at t=100. *)
+  check (Alcotest.float 1e-9) "blocked until drain" 100.0 !sent_all_at
+
+let test_mailbox_send_timeout () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create ~capacity:1 () in
+  let second = ref true in
+  Engine.spawn eng (fun () ->
+      Mailbox.send mb 1;
+      second := Mailbox.send_timeout mb 2 ~timeout:50.0);
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" false !second;
+  check Alcotest.int "only first queued" 1 (Mailbox.length mb)
+
+let test_mailbox_recv_timeout () =
+  let eng = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create () in
+  let got = ref (Some 1) in
+  Engine.spawn eng (fun () -> got := Mailbox.recv_timeout mb ~timeout:25.0);
+  Engine.run eng;
+  check Alcotest.(option int) "timeout" None !got
+
+let test_mailbox_try_recv () =
+  let mb = Mailbox.create () in
+  check Alcotest.(option int) "empty" None (Mailbox.try_recv mb);
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> Mailbox.send mb 9);
+  Engine.run eng;
+  check Alcotest.(option int) "nonempty" (Some 9) (Mailbox.try_recv mb)
+
+let test_mailbox_direct_handoff () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create ~capacity:0 () in
+  (* Zero capacity: transfer only via a waiting receiver. *)
+  let got = ref 0 in
+  Engine.spawn eng ~name:"rx" (fun () -> got := Mailbox.recv mb);
+  Engine.spawn eng ~name:"tx" (fun () ->
+      Engine.sleep 5.0;
+      Mailbox.send mb 77);
+  Engine.run eng;
+  check Alcotest.int "handoff" 77 !got
+
+let test_mailbox_raise_capacity_admits_senders () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create ~capacity:1 () in
+  let done_ = ref false in
+  Engine.spawn eng (fun () ->
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      (* blocks *)
+      done_ := true);
+  Engine.spawn eng (fun () ->
+      Engine.sleep 10.0;
+      Mailbox.set_capacity mb (Some 4));
+  Engine.run eng;
+  Alcotest.(check bool) "admitted after resize" true !done_;
+  check Alcotest.int "both queued" 2 (Mailbox.length mb)
+
+(* ---- semaphore ----------------------------------------------------------- *)
+
+let test_semaphore_mutual_exclusion () =
+  let eng = Engine.create () in
+  let sem = Semaphore.create 1 in
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        Semaphore.with_permit sem (fun () ->
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Engine.sleep 10.0;
+            decr inside))
+  done;
+  Engine.run eng;
+  check Alcotest.int "never two inside" 1 !max_inside;
+  check (Alcotest.float 1e-9) "serialised" 40.0 (Engine.now eng)
+
+let test_semaphore_parallelism () =
+  let eng = Engine.create () in
+  let sem = Semaphore.create 4 in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () -> Semaphore.with_permit sem (fun () -> Engine.sleep 10.0))
+  done;
+  Engine.run eng;
+  check (Alcotest.float 1e-9) "all parallel" 10.0 (Engine.now eng)
+
+let test_semaphore_fifo_big_request () =
+  let eng = Engine.create () in
+  let sem = Semaphore.create 2 in
+  let order = ref [] in
+  Engine.spawn eng ~name:"small1" (fun () ->
+      Semaphore.acquire sem;
+      Engine.sleep 10.0;
+      Semaphore.release sem);
+  Engine.spawn eng ~name:"small2" (fun () ->
+      Semaphore.acquire sem;
+      Engine.sleep 20.0;
+      Semaphore.release sem);
+  Engine.spawn eng ~name:"big" (fun () ->
+      Engine.sleep 1.0;
+      Semaphore.acquire ~n:2 sem;
+      order := "big" :: !order;
+      Semaphore.release ~n:2 sem);
+  Engine.spawn eng ~name:"small3" (fun () ->
+      Engine.sleep 2.0;
+      Semaphore.acquire sem;
+      order := "small3" :: !order;
+      Semaphore.release sem);
+  Engine.run eng;
+  (* The big request is at the queue head; small3 must not starve it. *)
+  check Alcotest.(list string) "big not starved" [ "big"; "small3" ] (List.rev !order)
+
+let test_try_acquire () =
+  let sem = Semaphore.create 1 in
+  Alcotest.(check bool) "first" true (Semaphore.try_acquire sem);
+  Alcotest.(check bool) "second fails" false (Semaphore.try_acquire sem);
+  Semaphore.release sem;
+  Alcotest.(check bool) "after release" true (Semaphore.try_acquire sem)
+
+(* ---- waitq ---------------------------------------------------------------- *)
+
+let test_waitq_signal_wakes_one () =
+  let eng = Engine.create () in
+  let wq = Waitq.create () in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Waitq.wait wq;
+        incr woken)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep 1.0;
+      Waitq.signal wq);
+  Engine.run eng;
+  check Alcotest.int "one woken" 1 !woken;
+  check Alcotest.int "two blocked" 2 (Engine.live eng - 0)
+
+let test_waitq_broadcast_wakes_all () =
+  let eng = Engine.create () in
+  let wq = Waitq.create () in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Waitq.wait wq;
+        incr woken)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep 1.0;
+      Waitq.broadcast wq);
+  Engine.run eng;
+  check Alcotest.int "all woken" 3 !woken
+
+let test_waitq_signal_fifo () =
+  let eng = Engine.create () in
+  let wq = Waitq.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Engine.sleep (float_of_int i);
+        Waitq.wait wq;
+        order := i :: !order)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep 10.0;
+      Waitq.signal wq;
+      Engine.sleep 1.0;
+      Waitq.signal wq;
+      Engine.sleep 1.0;
+      Waitq.signal wq);
+  Engine.run eng;
+  check Alcotest.(list int) "oldest waiter first" [ 1; 2; 3 ] (List.rev !order)
+
+let test_waitq_timeout () =
+  let eng = Engine.create () in
+  let wq = Waitq.create () in
+  let result = ref true in
+  Engine.spawn eng (fun () -> result := Waitq.wait_timeout wq ~timeout:30.0);
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" false !result
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event ordering" `Quick test_event_ordering;
+          Alcotest.test_case "tie break by sequence" `Quick test_tie_break_by_sequence;
+          Alcotest.test_case "sleep advances time" `Quick test_sleep_advances_time;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "nested spawn" `Quick test_spawn_nested;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "self name" `Quick test_self_name;
+          Alcotest.test_case "determinism" `Quick test_determinism_across_runs;
+          QCheck_alcotest.to_alcotest determinism_prop;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill then read" `Quick test_ivar_fill_then_read;
+          Alcotest.test_case "read then fill wakes all" `Quick test_ivar_read_then_fill;
+          Alcotest.test_case "double fill rejected" `Quick test_ivar_double_fill;
+          Alcotest.test_case "timeout" `Quick test_ivar_timeout;
+          Alcotest.test_case "fill beats timeout" `Quick test_ivar_timeout_beaten_by_fill;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "capacity blocks sender" `Quick test_mailbox_capacity_blocks_sender;
+          Alcotest.test_case "send timeout" `Quick test_mailbox_send_timeout;
+          Alcotest.test_case "recv timeout" `Quick test_mailbox_recv_timeout;
+          Alcotest.test_case "try recv" `Quick test_mailbox_try_recv;
+          Alcotest.test_case "zero-capacity handoff" `Quick test_mailbox_direct_handoff;
+          Alcotest.test_case "raising capacity admits senders" `Quick
+            test_mailbox_raise_capacity_admits_senders;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_semaphore_mutual_exclusion;
+          Alcotest.test_case "parallelism" `Quick test_semaphore_parallelism;
+          Alcotest.test_case "fifo big request" `Quick test_semaphore_fifo_big_request;
+          Alcotest.test_case "try acquire" `Quick test_try_acquire;
+        ] );
+      ( "waitq",
+        [
+          Alcotest.test_case "signal wakes one" `Quick test_waitq_signal_wakes_one;
+          Alcotest.test_case "broadcast wakes all" `Quick test_waitq_broadcast_wakes_all;
+          Alcotest.test_case "signal is FIFO" `Quick test_waitq_signal_fifo;
+          Alcotest.test_case "timeout" `Quick test_waitq_timeout;
+        ] );
+    ]

@@ -1,0 +1,130 @@
+(* §8.1 UNIX emulation library: descriptor semantics over mapped
+   files. *)
+
+open Mach
+module Minimal_fs = Mach_pagers.Minimal_fs
+module Unix_emu = Mach_unixemu.Unix_emu
+
+let check = Alcotest.check
+let page = 4096
+
+let with_io f =
+  let sys = Kernel.create_system () in
+  let disk = Disk.create sys.Kernel.engine ~name:"fsdisk" ~blocks:2048 ~block_size:page () in
+  let result = ref None in
+  Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
+      let fsrv = Minimal_fs.start sys.Kernel.kernel ~disk ~format:true () in
+      let app = Task.create sys.Kernel.kernel ~name:"app" () in
+      ignore
+        (Thread.spawn app ~name:"app.main" (fun () ->
+             let io = Unix_emu.init app ~server:(Minimal_fs.service_port fsrv) in
+             result := Some (f io))));
+  Engine.run sys.Kernel.engine;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "app thread did not complete (deadlock?)"
+
+let test_create_write_read () =
+  with_io (fun io ->
+      let fd = Unix_emu.openf io ~create:true "f" in
+      check Alcotest.int "write count" 5 (Unix_emu.write io fd (Bytes.of_string "hello"));
+      Unix_emu.close io fd;
+      let fd = Unix_emu.openf io "f" in
+      check Alcotest.string "contents" "hello" (Bytes.to_string (Unix_emu.read io fd 100));
+      check Alcotest.string "eof" "" (Bytes.to_string (Unix_emu.read io fd 100));
+      Unix_emu.close io fd)
+
+let test_open_missing () =
+  with_io (fun io ->
+      match Unix_emu.openf io "missing" with
+      | exception Unix_emu.Unix_error _ -> ()
+      | _ -> Alcotest.fail "expected Unix_error")
+
+let test_lseek_whence () =
+  with_io (fun io ->
+      let fd = Unix_emu.openf io ~create:true "f" in
+      ignore (Unix_emu.write io fd (Bytes.of_string "0123456789"));
+      check Alcotest.int "set" 3 (Unix_emu.lseek io fd 3 `Set);
+      check Alcotest.string "at 3" "345" (Bytes.to_string (Unix_emu.read io fd 3));
+      check Alcotest.int "cur" 4 (Unix_emu.lseek io fd (-2) `Cur);
+      check Alcotest.string "at 4" "45" (Bytes.to_string (Unix_emu.read io fd 2));
+      check Alcotest.int "end" 8 (Unix_emu.lseek io fd (-2) `End);
+      check Alcotest.string "tail" "89" (Bytes.to_string (Unix_emu.read io fd 10));
+      (match Unix_emu.lseek io fd (-99) `Set with
+      | exception Unix_emu.Unix_error _ -> ()
+      | _ -> Alcotest.fail "negative seek must fail");
+      Unix_emu.close io fd)
+
+let test_overwrite_middle () =
+  with_io (fun io ->
+      let fd = Unix_emu.openf io ~create:true "f" in
+      ignore (Unix_emu.write io fd (Bytes.of_string "aaaaaaaaaa"));
+      ignore (Unix_emu.lseek io fd 4 `Set);
+      ignore (Unix_emu.write io fd (Bytes.of_string "XY"));
+      Unix_emu.close io fd;
+      let fd = Unix_emu.openf io "f" in
+      check Alcotest.string "spliced" "aaaaXYaaaa" (Bytes.to_string (Unix_emu.read io fd 10));
+      Unix_emu.close io fd)
+
+let test_growth_across_pages () =
+  with_io (fun io ->
+      let fd = Unix_emu.openf io ~create:true "big" in
+      for i = 0 to 9 do
+        ignore (Unix_emu.write io fd (Bytes.make 1000 (Char.chr (48 + i))))
+      done;
+      check Alcotest.int "size" 10_000 (Unix_emu.fstat_size io fd);
+      Unix_emu.close io fd;
+      let fd = Unix_emu.openf io "big" in
+      ignore (Unix_emu.lseek io fd 8999 `Set);
+      check Alcotest.string "boundary bytes" "89" (Bytes.to_string (Unix_emu.read io fd 2));
+      Unix_emu.close io fd)
+
+let test_dup_shares_offset () =
+  with_io (fun io ->
+      let fd = Unix_emu.openf io ~create:true "f" in
+      ignore (Unix_emu.write io fd (Bytes.of_string "abcdef"));
+      ignore (Unix_emu.lseek io fd 0 `Set);
+      let fd2 = Unix_emu.dup io fd in
+      check Alcotest.string "fd reads" "ab" (Bytes.to_string (Unix_emu.read io fd 2));
+      check Alcotest.string "fd2 continues" "cd" (Bytes.to_string (Unix_emu.read io fd2 2));
+      Unix_emu.close io fd;
+      (* Still usable through fd2. *)
+      check Alcotest.string "after close of twin" "ef" (Bytes.to_string (Unix_emu.read io fd2 2));
+      Unix_emu.close io fd2;
+      check Alcotest.int "all closed" 0 (Unix_emu.open_fds io))
+
+let test_bad_fd () =
+  with_io (fun io ->
+      match Unix_emu.read io 42 1 with
+      | exception Unix_emu.Unix_error _ -> ()
+      | _ -> Alcotest.fail "expected bad descriptor error")
+
+let test_dirty_flag_writeback_only_when_needed () =
+  with_io (fun io ->
+      let fd = Unix_emu.openf io ~create:true "f" in
+      ignore (Unix_emu.write io fd (Bytes.of_string "v1"));
+      Unix_emu.close io fd;
+      (* Reopen read-only usage: close must not clobber. *)
+      let fd = Unix_emu.openf io "f" in
+      ignore (Unix_emu.read io fd 2);
+      Unix_emu.close io fd;
+      let fd = Unix_emu.openf io "f" in
+      check Alcotest.string "still v1" "v1" (Bytes.to_string (Unix_emu.read io fd 2));
+      Unix_emu.close io fd)
+
+let () =
+  Alcotest.run "unixemu"
+    [
+      ( "descriptors",
+        [
+          Alcotest.test_case "create/write/read" `Quick test_create_write_read;
+          Alcotest.test_case "open missing" `Quick test_open_missing;
+          Alcotest.test_case "lseek whence" `Quick test_lseek_whence;
+          Alcotest.test_case "overwrite middle" `Quick test_overwrite_middle;
+          Alcotest.test_case "growth across pages" `Quick test_growth_across_pages;
+          Alcotest.test_case "dup shares offset" `Quick test_dup_shares_offset;
+          Alcotest.test_case "bad fd" `Quick test_bad_fd;
+          Alcotest.test_case "clean close no clobber" `Quick
+            test_dirty_flag_writeback_only_when_needed;
+        ] );
+    ]

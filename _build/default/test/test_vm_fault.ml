@@ -1,0 +1,383 @@
+(* Fault-handler behaviour (§5.5) and the kernel↔manager protocol
+   details (§3.4.1): locks and unlocks, unavailable data, request
+   coalescing, shadow chains, failure policies. *)
+
+open Mach
+module Mos = Memory_object_server
+
+let check = Alcotest.check
+let page = 4096
+
+let with_system ?config f =
+  let sys = Kernel.create_system ?config () in
+  let result = ref None in
+  Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
+      let task = Task.create sys.Kernel.kernel ~name:"app" () in
+      ignore (Thread.spawn task ~name:"app.main" (fun () -> result := Some (f sys task))));
+  Engine.run sys.Kernel.engine;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "main thread did not complete (deadlock?)"
+
+(* A manager serving counted requests, optionally write-locking pages. *)
+let counting_manager kernel ~lock_writes =
+  let task = Task.create kernel ~name:"mgr" () in
+  let requests = ref [] in
+  let unlocks = ref [] in
+  let cb =
+    {
+      Mos.no_callbacks with
+      Mos.on_data_request =
+        (fun srv ~memory_object:_ ~request ~offset ~length:_ ~desired_access:_ ->
+          requests := offset :: !requests;
+          Mos.data_provided srv ~request ~offset
+            ~data:(Bytes.make page (Char.chr (65 + (offset / page mod 26))))
+            ~lock_value:(if lock_writes then Prot.write else Prot.none));
+      Mos.on_data_unlock =
+        (fun srv ~memory_object:_ ~request ~offset ~length ~desired_access:_ ->
+          unlocks := offset :: !unlocks;
+          Mos.data_lock srv ~request ~offset ~length ~lock_value:Prot.none);
+    }
+  in
+  let srv = Mos.start task cb in
+  (srv, requests, unlocks)
+
+let test_zero_fill_and_soft_fault () =
+  with_system (fun sys task ->
+      let addr = Syscalls.vm_allocate task ~size:page ~anywhere:true () in
+      let s0 = (Kernel.stats sys.Kernel.kernel).Vm_types.s_zero_fill in
+      ignore (Syscalls.touch task ~addr ~write:false ());
+      let s1 = (Kernel.stats sys.Kernel.kernel).Vm_types.s_zero_fill in
+      check Alcotest.int "one zero fill" 1 (s1 - s0);
+      (* Invalidate the translation but keep the page: refault is soft. *)
+      (match Vm_map.pmap (Task.map task) with
+      | Some pm -> Mach_hw.Pmap.remove pm ~vpn:(addr / page)
+      | None -> ());
+      let h0 = (Kernel.stats sys.Kernel.kernel).Vm_types.s_hits in
+      ignore (Syscalls.touch task ~addr ~write:false ());
+      let h1 = (Kernel.stats sys.Kernel.kernel).Vm_types.s_hits in
+      check Alcotest.int "soft fault hit" 1 (h1 - h0))
+
+let test_manager_write_lock_unlock_flow () =
+  with_system (fun sys task ->
+      let srv, _requests, unlocks = counting_manager sys.Kernel.kernel ~lock_writes:true in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(2 * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      (* Read works under the write lock. *)
+      (match Syscalls.read_bytes task ~addr ~len:4 () with
+      | Ok b -> check Alcotest.string "read ok" "AAAA" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "read: %a" Access.pp_error e);
+      check Alcotest.int "no unlock yet" 0 (List.length !unlocks);
+      (* Write must trigger pager_data_unlock and then succeed. *)
+      (match Syscalls.write_bytes task ~addr (Bytes.of_string "WW") () with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %a" Access.pp_error e);
+      check Alcotest.(list int) "one unlock for page 0" [ 0 ] !unlocks;
+      let stats = Kernel.stats sys.Kernel.kernel in
+      Alcotest.(check bool) "unlock counted" true (stats.Vm_types.s_unlock_requests >= 1))
+
+let test_data_unavailable_zero_fills () =
+  with_system (fun sys task ->
+      let mgr = Task.create sys.Kernel.kernel ~name:"sparse-mgr" () in
+      let cb =
+        {
+          Mos.no_callbacks with
+          Mos.on_data_request =
+            (fun srv ~memory_object:_ ~request ~offset ~length ~desired_access:_ ->
+              Mos.data_unavailable srv ~request ~offset ~size:length);
+        }
+      in
+      let srv = Mos.start mgr cb in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:page ~anywhere:true ~memory_object ~offset:0 ()
+      in
+      match Syscalls.read_bytes task ~addr ~len:8 () with
+      | Ok b ->
+        check Alcotest.string "zero filled" (String.make 8 '\000') (Bytes.to_string b);
+        let stats = Kernel.stats sys.Kernel.kernel in
+        Alcotest.(check bool) "counted" true (stats.Vm_types.s_data_unavailable >= 1)
+      | Error e -> Alcotest.failf "read: %a" Access.pp_error e)
+
+let test_concurrent_faults_coalesce () =
+  with_system (fun sys task ->
+      (* A slow manager: both faulters must wait on ONE request. *)
+      let mgr = Task.create sys.Kernel.kernel ~name:"slow-mgr" () in
+      let requests = ref 0 in
+      let cb =
+        {
+          Mos.no_callbacks with
+          Mos.on_data_request =
+            (fun srv ~memory_object:_ ~request ~offset ~length:_ ~desired_access:_ ->
+              incr requests;
+              Engine.sleep 5000.0;
+              Mos.data_provided srv ~request ~offset ~data:(Bytes.make page 'S')
+                ~lock_value:Prot.none);
+        }
+      in
+      let srv = Mos.start mgr cb in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:page ~anywhere:true ~memory_object ~offset:0 ()
+      in
+      let t2 = Task.create sys.Kernel.kernel ~name:"app2" () in
+      let addr2 =
+        Syscalls.vm_allocate_with_pager t2 ~size:page ~anywhere:true ~memory_object ~offset:0 ()
+      in
+      let d1 = Ivar.create () and d2 = Ivar.create () in
+      ignore
+        (Thread.spawn task ~name:"faulter-1" (fun () ->
+             ignore (Syscalls.read_bytes task ~addr ~len:1 ());
+             Ivar.fill d1 ()));
+      ignore
+        (Thread.spawn t2 ~name:"faulter-2" (fun () ->
+             ignore (Syscalls.read_bytes t2 ~addr:addr2 ~len:1 ());
+             Ivar.fill d2 ()));
+      Ivar.read d1;
+      Ivar.read d2;
+      (* Same kernel, same object, same page: one pager_data_request. *)
+      check Alcotest.int "coalesced" 1 !requests)
+
+let test_policy_abort_and_zero_fill () =
+  with_system (fun sys task ->
+      let mgr = Task.create sys.Kernel.kernel ~name:"dead-mgr" () in
+      let srv = Mos.start mgr Mos.no_callbacks in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(2 * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      (match Syscalls.read_bytes task ~addr ~len:4 ~policy:(Fault.Abort_after 1000.0) () with
+      | Error (Access.Manager_failed _) -> ()
+      | Ok _ -> Alcotest.fail "expected abort"
+      | Error e -> Alcotest.failf "wrong error: %a" Access.pp_error e);
+      (* Zero-fill policy on the other page succeeds with zeroes. *)
+      match
+        Syscalls.read_bytes task ~addr:(addr + page) ~len:4
+          ~policy:(Fault.Zero_fill_after 1000.0) ()
+      with
+      | Ok b -> check Alcotest.string "zeroes" "\000\000\000\000" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "zero-fill policy: %a" Access.pp_error e)
+
+let test_shared_inheritance_read_write () =
+  with_system (fun sys task ->
+      let addr = Syscalls.vm_allocate task ~size:page ~anywhere:true () in
+      ignore (Syscalls.write_bytes task ~addr (Bytes.of_string "before-fork") ());
+      Syscalls.vm_inherit task ~addr ~size:page Vm_types.Inherit_share;
+      let child = Task.create sys.Kernel.kernel ~parent:task ~name:"sharer" () in
+      let done_ = Ivar.create () in
+      ignore
+        (Thread.spawn child ~name:"sharer.main" (fun () ->
+             (match Syscalls.read_bytes child ~addr ~len:11 () with
+             | Ok b -> check Alcotest.string "child sees parent" "before-fork" (Bytes.to_string b)
+             | Error e -> Alcotest.failf "child read: %a" Access.pp_error e);
+             (match Syscalls.write_bytes child ~addr (Bytes.of_string "child-wrote") () with
+             | Ok () -> ()
+             | Error e -> Alcotest.failf "child write: %a" Access.pp_error e);
+             Ivar.fill done_ ()));
+      Ivar.read done_;
+      match Syscalls.read_bytes task ~addr ~len:11 () with
+      | Ok b -> check Alcotest.string "parent sees child write" "child-wrote" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "parent read: %a" Access.pp_error e)
+
+let test_three_generation_cow_chain () =
+  with_system (fun sys task ->
+      let addr = Syscalls.vm_allocate task ~size:page ~anywhere:true () in
+      ignore (Syscalls.write_bytes task ~addr (Bytes.of_string "gen0") ());
+      let child = Task.create sys.Kernel.kernel ~parent:task ~name:"gen1" () in
+      let gc_done = Ivar.create () in
+      ignore
+        (Thread.spawn child ~name:"gen1.main" (fun () ->
+             (* Child writes (shadow #1), then forks a grandchild. *)
+             ignore (Syscalls.write_bytes child ~addr (Bytes.of_string "gen1") ());
+             let grandchild = Task.create sys.Kernel.kernel ~parent:child ~name:"gen2" () in
+             ignore
+               (Thread.spawn grandchild ~name:"gen2.main" (fun () ->
+                    (match Syscalls.read_bytes grandchild ~addr ~len:4 () with
+                    | Ok b ->
+                      check Alcotest.string "grandchild reads through chain" "gen1"
+                        (Bytes.to_string b)
+                    | Error e -> Alcotest.failf "gc read: %a" Access.pp_error e);
+                    ignore (Syscalls.write_bytes grandchild ~addr (Bytes.of_string "gen2") ());
+                    Ivar.fill gc_done ()))));
+      Ivar.read gc_done;
+      (* Everyone sees their own value. *)
+      (match Syscalls.read_bytes task ~addr ~len:4 () with
+      | Ok b -> check Alcotest.string "gen0 isolated" "gen0" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "gen0: %a" Access.pp_error e))
+
+let test_manager_flush_drops_clean_pages () =
+  with_system (fun sys task ->
+      let srv, requests, _ = counting_manager sys.Kernel.kernel ~lock_writes:false in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:page ~anywhere:true ~memory_object ~offset:0 ()
+      in
+      ignore (Syscalls.read_bytes task ~addr ~len:1 ());
+      check Alcotest.int "one request" 1 (List.length !requests);
+      (* Flush from the manager: the cached page is invalidated. *)
+      let kctx = sys.Kernel.kernel.Ktypes.k_kctx in
+      let obj = Option.get (Vm_object.find_by_port kctx memory_object) in
+      let request_port =
+        match obj.Vm_types.pager with
+        | Vm_types.Pager p -> Option.get p.Vm_types.request_port
+        | Vm_types.No_pager -> Alcotest.fail "expected pager"
+      in
+      Mos.flush_request srv ~request:request_port ~offset:0 ~length:page;
+      Engine.sleep 10_000.0;
+      check Alcotest.int "page gone" 0 (Vm_object.resident_count obj);
+      (* Refault pulls it again. *)
+      ignore (Syscalls.read_bytes task ~addr ~len:1 ());
+      check Alcotest.int "second request" 2 (List.length !requests))
+
+let test_mapping_at_object_offset () =
+  (* Table 3-4: the mapped region corresponds to a given offset within
+     the memory object; requests arriving at the manager carry object
+     offsets, not task addresses. *)
+  with_system (fun sys task ->
+      let mgr = Task.create sys.Kernel.kernel ~name:"mgr" () in
+      let offsets_seen = ref [] in
+      let cb =
+        {
+          Mos.no_callbacks with
+          Mos.on_data_request =
+            (fun srv ~memory_object:_ ~request ~offset ~length:_ ~desired_access:_ ->
+              offsets_seen := offset :: !offsets_seen;
+              Mos.data_provided srv ~request ~offset
+                ~data:(Bytes.make page (Char.chr (65 + (offset / page mod 26))))
+                ~lock_value:Prot.none);
+        }
+      in
+      let srv = Mos.start mgr cb in
+      let memory_object = Mos.create_memory_object srv () in
+      (* Map pages 4..5 of the object. *)
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(2 * page) ~anywhere:true ~memory_object
+          ~offset:(4 * page) ()
+      in
+      (match Syscalls.read_bytes task ~addr ~len:1 () with
+      | Ok b -> check Alcotest.string "object page 4" "E" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "read: %a" Access.pp_error e);
+      (match Syscalls.read_bytes task ~addr:(addr + page) ~len:1 () with
+      | Ok b -> check Alcotest.string "object page 5" "F" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "read2: %a" Access.pp_error e);
+      check Alcotest.(list int) "manager saw object offsets" [ 4 * page; 5 * page ]
+        (List.sort compare !offsets_seen))
+
+let test_two_mappings_same_object_share_pages () =
+  with_system (fun sys task ->
+      let mgr = Task.create sys.Kernel.kernel ~name:"mgr" () in
+      let requests = ref 0 in
+      let cb =
+        {
+          Mos.no_callbacks with
+          Mos.on_data_request =
+            (fun srv ~memory_object:_ ~request ~offset ~length:_ ~desired_access:_ ->
+              incr requests;
+              Mos.data_provided srv ~request ~offset ~data:(Bytes.make page 's')
+                ~lock_value:Prot.none);
+        }
+      in
+      let srv = Mos.start mgr cb in
+      let memory_object = Mos.create_memory_object srv () in
+      (* "A single memory object may be mapped in more than once" — both
+         mappings hit the same cached page. *)
+      let a1 =
+        Syscalls.vm_allocate_with_pager task ~size:page ~anywhere:true ~memory_object ~offset:0 ()
+      in
+      let a2 =
+        Syscalls.vm_allocate_with_pager task ~size:page ~anywhere:true ~memory_object ~offset:0 ()
+      in
+      ignore (Syscalls.read_bytes task ~addr:a1 ~len:1 ());
+      ignore (Syscalls.read_bytes task ~addr:a2 ~len:1 ());
+      check Alcotest.int "one pagein serves both mappings" 1 !requests;
+      (* Writes through one mapping are visible through the other. *)
+      (match Syscalls.write_bytes task ~addr:a1 (Bytes.of_string "W") () with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %a" Access.pp_error e);
+      match Syscalls.read_bytes task ~addr:a2 ~len:1 () with
+      | Ok b -> check Alcotest.string "aliased" "W" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "aliased read: %a" Access.pp_error e)
+
+let test_protection_fault_surfaces () =
+  with_system (fun _sys task ->
+      let addr = Syscalls.vm_allocate task ~size:page ~anywhere:true () in
+      Syscalls.vm_protect task ~addr ~size:page ~set_max:false Prot.read;
+      match Syscalls.write_bytes task ~addr (Bytes.of_string "x") () with
+      | Error (Access.Access_denied _) -> ()
+      | Ok () -> Alcotest.fail "write must be denied"
+      | Error e -> Alcotest.failf "wrong error: %a" Access.pp_error e)
+
+let test_write_across_protection_boundary () =
+  (* A multi-page write that starts in a writable entry and crosses into
+     a read-only one must fail at the boundary, leaving the writable
+     part written. *)
+  with_system (fun _sys task ->
+      let addr = Syscalls.vm_allocate task ~size:(2 * page) ~anywhere:true () in
+      Syscalls.vm_protect task ~addr:(addr + page) ~size:page ~set_max:false Prot.read;
+      let data = Bytes.make (page + 8) 'B' in
+      (match Syscalls.write_bytes task ~addr data () with
+      | Error (Access.Access_denied a) -> check Alcotest.int "failed at boundary" (addr + page) a
+      | Ok () -> Alcotest.fail "must not cross into read-only page"
+      | Error e -> Alcotest.failf "wrong error: %a" Access.pp_error e);
+      match Syscalls.read_bytes task ~addr ~len:4 () with
+      | Ok b -> check Alcotest.string "first page written" "BBBB" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "read: %a" Access.pp_error e)
+
+let test_regions_expose_pager_name_port () =
+  (* vm_regions identifies pager-backed regions by the pager name port
+     (§3.4.1, footnote 3: never the memory object or request port). *)
+  with_system (fun sys task ->
+      let mgr = Task.create sys.Kernel.kernel ~name:"mgr" () in
+      let srv = Mos.start mgr Mos.no_callbacks in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:page ~anywhere:true ~memory_object ~offset:0 ()
+      in
+      let region =
+        List.find (fun r -> r.Vm_map.ri_start = addr) (Syscalls.vm_regions task)
+      in
+      match region.Vm_map.ri_name_port with
+      | Some name_port ->
+        Alcotest.(check bool) "name port is not the memory object" false
+          (Mach_ipc.Port.equal name_port memory_object)
+      | None -> Alcotest.fail "pager-backed region must expose its name port")
+
+let test_bad_address_surfaces () =
+  with_system (fun _sys task ->
+      match Syscalls.read_bytes task ~addr:0x7f000000 ~len:1 () with
+      | Error (Access.Bad_address _) -> ()
+      | Ok _ -> Alcotest.fail "unmapped read must fail"
+      | Error e -> Alcotest.failf "wrong error: %a" Access.pp_error e)
+
+let () =
+  Alcotest.run "vm_fault"
+    [
+      ( "fault-paths",
+        [
+          Alcotest.test_case "zero-fill then soft" `Quick test_zero_fill_and_soft_fault;
+          Alcotest.test_case "protection fault" `Quick test_protection_fault_surfaces;
+          Alcotest.test_case "bad address" `Quick test_bad_address_surfaces;
+          Alcotest.test_case "write across protection boundary" `Quick
+            test_write_across_protection_boundary;
+          Alcotest.test_case "vm_regions exposes pager name port" `Quick
+            test_regions_expose_pager_name_port;
+          Alcotest.test_case "three-generation COW chain" `Quick test_three_generation_cow_chain;
+          Alcotest.test_case "shared inheritance" `Quick test_shared_inheritance_read_write;
+        ] );
+      ( "pager-protocol",
+        [
+          Alcotest.test_case "write lock and unlock flow" `Quick test_manager_write_lock_unlock_flow;
+          Alcotest.test_case "data unavailable zero-fills" `Quick test_data_unavailable_zero_fills;
+          Alcotest.test_case "concurrent faults coalesce" `Quick test_concurrent_faults_coalesce;
+          Alcotest.test_case "abort and zero-fill policies" `Quick test_policy_abort_and_zero_fill;
+          Alcotest.test_case "manager flush drops clean pages" `Quick
+            test_manager_flush_drops_clean_pages;
+          Alcotest.test_case "mapping at object offset" `Quick test_mapping_at_object_offset;
+          Alcotest.test_case "multiple mappings share pages" `Quick
+            test_two_mappings_same_object_share_pages;
+        ] );
+    ]
