@@ -41,11 +41,18 @@ let run_unix ~builds proj =
   Engine.run sys.Kernel.engine;
   List.rev !results
 
+(* Pager protocol traffic during the measured builds: messages sent
+   (data_requests), pages received (pageins) and the ratio — cluster-in
+   should bring in clearly more than one page per request. *)
+type pager_traffic = { pt_requests : int; pt_pageins : int }
+
 let run_mach ~builds proj =
   let config = { Kernel.default_config with Kernel.phys_frames = frames } in
   let sys = Kernel.create_system ~config () in
   let disk = Disk.create sys.Kernel.engine ~name:"mach-disk" ~blocks:4096 ~block_size:page () in
   let results = ref [] in
+  let st = sys.Kernel.kernel.Ktypes.k_kctx.Kctx.stats in
+  let base = ref (0, 0) in
   Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
       let fsrv = Minimal_fs.start sys.Kernel.kernel ~disk ~format:true () in
       let client = Task.create sys.Kernel.kernel ~name:"cc" () in
@@ -56,21 +63,26 @@ let run_mach ~builds proj =
              in
              Compile_sim.populate ops (Rng.create 7) proj;
              Disk.reset_stats disk;
+             base := (st.Vm_types.s_data_requests, st.Vm_types.s_pageins);
              for _ = 1 to builds do
                let m = Compile_sim.measure_build sys.Kernel.engine ops proj in
                results := m :: !results
              done)));
   Engine.run sys.Kernel.engine;
-  List.rev !results
+  let req0, in0 = !base in
+  let traffic =
+    { pt_requests = st.Vm_types.s_data_requests - req0; pt_pageins = st.Vm_types.s_pageins - in0 }
+  in
+  (List.rev !results, traffic)
 
 let run_body ~sources ~builds =
   let proj = project ~sources in
   let unix_runs = run_unix ~builds proj in
-  let mach_runs = run_mach ~builds proj in
-  (proj, List.combine unix_runs mach_runs)
+  let mach_runs, traffic = run_mach ~builds proj in
+  (proj, List.combine unix_runs mach_runs, traffic)
 
 let run () =
-  let proj, rows = run_body ~sources:48 ~builds:3 in
+  let proj, rows, traffic = run_body ~sources:48 ~builds:3 in
   let t =
     Table.create
       ~title:
@@ -104,7 +116,20 @@ let run () =
            else Printf.sprintf "%.1fx" (float_of_int u.disk_ops /. float_of_int m.disk_ops));
         ])
     rows;
-  [ t ]
+  let p =
+    Table.create ~title:"E4: Mach pager traffic over the measured builds (cluster-in)"
+      ~columns:[ "data_requests (messages)"; "pageins (pages)"; "pages per request" ]
+  in
+  Table.row p
+    [
+      string_of_int traffic.pt_requests;
+      string_of_int traffic.pt_pageins;
+      (if traffic.pt_requests = 0 then "-"
+       else
+         Printf.sprintf "%.2f"
+           (float_of_int traffic.pt_pageins /. float_of_int traffic.pt_requests));
+    ];
+  [ t; p ]
 
 let experiment =
   {

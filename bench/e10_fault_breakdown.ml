@@ -72,21 +72,42 @@ let run_body ~rounds =
               ignore (ok_exn "ext" (Syscalls.touch task ~addr:(ext_addr + (i * page)) ~write:false ()))
             done)
       in
-      [
-        ("zero-fill fault (anonymous memory)", per zf_us);
-        ("soft fault (resident page, pmap refill)", per soft_us);
-        ("copy-on-write fault (page copy + shadow)", per cow_us);
-        ("external pager fault (IPC round trip to manager)", per ext_us);
-      ])
+      (* Fault-pipeline counters: how the handler actually resolved the
+         workload's faults (fast vs slow path, hint behaviour, clustered
+         pager traffic and burst mappings). *)
+      let st = sys.Kernel.kernel.Ktypes.k_kctx.Kctx.stats in
+      let counters =
+        let wanted =
+          [
+            "faults"; "fast_faults"; "hits"; "hint_hits"; "hint_misses"; "burst_entered";
+            "slow_busy"; "slow_lock"; "slow_pager"; "data_requests"; "cluster_pages"; "pageins";
+          ]
+        in
+        List.filter (fun (k, _) -> List.mem k wanted) (Vm_types.stats_to_list st)
+      in
+      ( [
+          ("zero-fill fault (anonymous memory)", per zf_us);
+          ("soft fault (resident page, pmap refill)", per soft_us);
+          ("copy-on-write fault (page copy + shadow)", per cow_us);
+          ("external pager fault (IPC round trip to manager)", per ext_us);
+        ],
+        counters ))
 
 let run () =
-  let rows = run_body ~rounds:50 in
+  let rows, counters = run_body ~rounds:50 in
   let t =
     Table.create ~title:"E10: fault-path cost breakdown (Section 5.5)"
       ~columns:[ "fault type"; "simulated us per fault" ]
   in
   List.iter (fun (k, v) -> Table.row t [ k; us v ]) rows;
-  [ t ]
+  let c =
+    Table.create
+      ~title:
+        "E10: fault pipeline counters (fast/slow split, lookup hints, cluster-in)"
+      ~columns:[ "counter"; "count" ]
+  in
+  List.iter (fun (k, v) -> Table.row c [ k; string_of_int v ]) counters;
+  [ t; c ]
 
 let experiment =
   {

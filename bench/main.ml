@@ -62,7 +62,19 @@ let run_bechamel selected =
       | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
     rows
 
-let main only list_only no_bechamel =
+(* Tiny-parameter sanity pass: run every experiment's [quick] body once
+   so a refactor that breaks an experiment fails fast (the `bench-smoke`
+   dune alias runs this). *)
+let run_smoke selected =
+  List.iter
+    (fun (e : Common.experiment) ->
+      Printf.printf "smoke %-4s %-28s ... %!" e.Common.id e.Common.title;
+      let t0 = Unix.gettimeofday () in
+      e.Common.quick ();
+      Printf.printf "ok (%.2fs)\n%!" (Unix.gettimeofday () -. t0))
+    selected
+
+let main only list_only no_bechamel smoke =
   if list_only then begin
     List.iter
       (fun (e : Common.experiment) -> Printf.printf "%-4s %s\n" e.Common.id e.Common.title)
@@ -80,6 +92,10 @@ let main only list_only no_bechamel =
     if selected = [] then begin
       prerr_endline "no matching experiments (try --list)";
       1
+    end
+    else if smoke then begin
+      run_smoke selected;
+      0
     end
     else begin
       Printf.printf "Mach duality reproduction — experiment harness\n";
@@ -104,8 +120,12 @@ let no_bechamel =
   let doc = "Skip the bechamel wall-clock microbench suite." in
   Arg.(value & flag & info [ "no-bechamel" ] ~doc)
 
+let smoke =
+  let doc = "Run each experiment once with tiny parameters (sanity pass, no tables)." in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
 let cmd =
   let doc = "Reproduce the evaluation of the Mach memory/communication duality paper" in
-  Cmd.v (Cmd.info "mach-bench" ~doc) Term.(const main $ only $ list_only $ no_bechamel)
+  Cmd.v (Cmd.info "mach-bench" ~doc) Term.(const main $ only $ list_only $ no_bechamel $ smoke)
 
 let () = exit (Cmd.eval' cmd)

@@ -20,6 +20,11 @@ val phys_mem : t -> Phys_mem.t
 val enter : t -> vpn:int -> frame:Phys_mem.frame -> prot:Prot.t -> unit
 (** Install (or replace) the translation for virtual page [vpn]. *)
 
+val enter_batch : t -> (int * Phys_mem.frame * Prot.t) list -> unit
+(** Install several [(vpn, frame, prot)] translations in one machine
+    operation — the burst-fault path amortises per-entry validation
+    cost across the batch. *)
+
 val remove : t -> vpn:int -> unit
 (** Invalidate a translation; harmless if absent. *)
 

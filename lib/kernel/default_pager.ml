@@ -66,21 +66,49 @@ let handle t (msg : Message.t) =
   | Pager_iface.Data_request { memory_object; request; offset; length; desired_access = _ } -> (
     match Hashtbl.find_opt t.objects (Port.id memory_object) with
     | None -> ()
-    | Some m -> (
-      match Hashtbl.find_opt m.blocks offset with
-      | Some block ->
-        let data = Disk.read t.disk ~block in
-        let data = Bytes.sub data 0 (min length (Bytes.length data)) in
-        send t
-          (Pager_iface.encode_m2k
-             (Pager_iface.Data_provided { offset; data; lock_value = Prot.none })
-             ~request)
-      | None ->
-        (* Never paged out: the kernel zero-fills. *)
-        send t
-          (Pager_iface.encode_m2k
-             (Pager_iface.Data_unavailable { offset; size = length })
-             ~request)))
+    | Some m ->
+      (* The kernel may ask for several pages at once (cluster-in).
+         Walk the requested range page by page, coalescing adjacent
+         stored pages into one Data_provided and adjacent holes into
+         one Data_unavailable, so the reply traffic stays proportional
+         to the number of runs, not pages. *)
+      let ps = t.kctx.Kctx.page_size in
+      let npages = max 1 ((length + ps - 1) / ps) in
+      let flush_hole ~start ~stop =
+        if stop > start then
+          send t
+            (Pager_iface.encode_m2k
+               (Pager_iface.Data_unavailable { offset = start; size = stop - start })
+               ~request)
+      in
+      let flush_run ~start chunks =
+        match chunks with
+        | [] -> ()
+        | _ ->
+          let data = Bytes.concat Bytes.empty (List.rev chunks) in
+          send t
+            (Pager_iface.encode_m2k
+               (Pager_iface.Data_provided { offset = start; data; lock_value = Prot.none })
+               ~request)
+      in
+      let run_start = ref offset and run = ref [] in
+      let hole_start = ref offset in
+      for i = 0 to npages - 1 do
+        let off = offset + (i * ps) in
+        match Hashtbl.find_opt m.blocks off with
+        | Some block ->
+          flush_hole ~start:!hole_start ~stop:off;
+          hole_start := off + ps;
+          if !run = [] then run_start := off;
+          let data = Disk.read t.disk ~block in
+          run := Bytes.sub data 0 (min ps (Bytes.length data)) :: !run
+        | None ->
+          (* Never paged out: the kernel zero-fills. *)
+          flush_run ~start:!run_start !run;
+          run := []
+      done;
+      flush_run ~start:!run_start !run;
+      flush_hole ~start:!hole_start ~stop:(offset + (npages * ps)))
   | Pager_iface.Data_write { memory_object; offset; data; write_id } -> (
     match Hashtbl.find_opt t.objects (Port.id memory_object) with
     | None -> (

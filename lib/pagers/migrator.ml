@@ -40,8 +40,16 @@ let on_data_request t ~memory_object ~request ~offset ~length ~desired_access:_ 
   | None -> ()
   | Some br ->
     let ps = page_size_of br.br_src in
+    (* The kernel may ask for a multi-page cluster, but how much data
+       actually crosses the network is this manager's policy: migration
+       pays per page shipped, so copy-on-reference serves exactly the
+       demanded page (the kernel re-requests a clustered neighbor if it
+       is ever truly referenced) and pre-paging serves its own fixed
+       lookahead. [length] is deliberately not honored beyond the first
+       page. *)
+    ignore length;
     let extra = match br.br_strategy with Pre_paging n -> n * ps | _ -> 0 in
-    let want = min (length + extra) (br.br_size - offset) in
+    let want = min (ps + extra) (br.br_size - offset) in
     let want = max want 0 in
     if want = 0 then Mos.data_unavailable t.srv ~request ~offset ~size:length
     else begin

@@ -9,11 +9,34 @@ module Machine = Mach_hw.Machine
 type policy = Wait_forever | Abort_after of float | Zero_fill_after of float
 type outcome = Done | Invalid_address | Protection_failure | Pager_error
 
+(* The fault pipeline is split in two:
+
+   - The FAST PATH handles the common case — the page is resident,
+     not busy, not manager-locked against this access, and no
+     copy-on-write is due. One map lookup (hinted), one hash probe,
+     one pmap entry; no retry loop, no waiting.
+
+   - The SLOW PATH is a retry driver over one resolution step per
+     obstacle (busy page, manager lock, COW copy, pager request,
+     zero fill). Each step may sleep; afterwards the world must be
+     re-examined from the map lookup down, because entries, objects
+     and pages can all have changed underneath us.
+
+   Both paths converge on hardware validation and, when a cluster
+   window is configured, a burst pre-enter of already-resident
+   neighbor pages (mapped read-only so writes still fault for COW
+   and dirty tracking). *)
+
 let handle kctx map ~addr ~write ?policy () =
   let policy = match policy with Some p -> p | None -> Abort_after kctx.Kctx.pager_timeout_us in
   let stats = kctx.Kctx.stats in
   let ps = kctx.Kctx.page_size in
   let engine = kctx.Kctx.engine in
+  let pm =
+    match Vm_map.pmap map with
+    | None -> invalid_arg "Fault.handle: map has no pmap"
+    | Some pm -> pm
+  in
   stats.s_faults <- stats.s_faults + 1;
   Kctx.charge kctx kctx.Kctx.params.Machine.fault_base_us;
   (* Timed wait helper: false when the policy's deadline passes first.
@@ -49,15 +72,109 @@ let handle kctx map ~addr ~write ?policy () =
     Phys_mem.fill kctx.Kctx.mem page.frame '\000';
     page.absent <- false;
     page.p_error <- false;
+    page.cluster_spec <- false;
     page.p_obj.paging_in_progress <- max 0 (page.p_obj.paging_in_progress - 1);
     stats.s_zero_fill <- stats.s_zero_fill + 1;
     Page_queues.activate kctx.Kctx.queues page;
     Vm_page.set_unbusy page
   in
-  let rec attempt tries ~soft =
+  let lock_forbids page =
+    if write then Prot.can_write page.page_lock else Prot.can_read page.page_lock
+  in
+  (* Manager-imposed lock check used while waiting for pager_data_lock:
+     the page may be flushed out from under us; a dead page ends the
+     wait and the fault re-runs from scratch. *)
+  let forbidden page () =
+    (match Vm_page.lookup page.p_obj ~offset:page.p_offset with
+    | Some p -> p == page
+    | None -> false)
+    && lock_forbids page
+  in
+  (* Hardware validation protection: entry protection, minus write when
+     the page must stay copy-on-write ([write_ok] false — pending COW or
+     page from a backing object), minus the manager's lock. *)
+  let hw_prot entry_prot ~write_ok ~page_lock =
+    let prot = if write_ok then entry_prot else Prot.diff entry_prot Prot.write in
+    Prot.diff prot page_lock
+  in
+  (* Burst pre-enter (the mapping half of cluster-in): after validating
+     the faulting page, map forward-adjacent pages that are already
+     resident and unmapped — read-only, so the first write to any of
+     them still faults for COW resolution and dirty tracking. One map
+     operation is charged for the whole batch. *)
+  let burst_enter () =
+    let window = kctx.Kctx.cluster_pages in
+    if window > 1 then begin
+      let batch = ref [] in
+      let n = ref 0 in
+      (try
+         for i = 1 to window - 1 do
+           let a = addr + (i * ps) in
+           let vpn = a / ps in
+           if Pmap.lookup pm ~vpn <> None then raise Exit;
+           match Vm_map.lookup ~count:false map ~addr:a ~write:false with
+           | Error _ -> raise Exit
+           | Ok lk -> (
+             match
+               Vm_object.lookup_chain lk.Vm_map.lk_obj ~offset:lk.Vm_map.lk_offset
+             with
+             | Some (p, _, _)
+               when (not p.busy) && (not p.absent) && (not p.p_error)
+                    && not (Prot.can_read p.page_lock) ->
+               let prot =
+                 hw_prot lk.Vm_map.lk_entry_prot ~write_ok:false ~page_lock:p.page_lock
+               in
+               batch := (vpn, p.frame, prot) :: !batch;
+               Vm_page.add_mapping p pm ~vpn;
+               Page_queues.activate kctx.Kctx.queues p;
+               incr n
+             | Some _ | None -> raise Exit)
+         done
+       with Exit -> ());
+      if !n > 0 then begin
+        Pmap.enter_batch pm !batch;
+        stats.s_burst_entered <- stats.s_burst_entered + !n;
+        Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us
+      end
+    end
+  in
+  (* Hardware-validate [page] for the faulting address and finish. Slow
+     paths may have slept, so the map entry must be looked up afresh; a
+     vanished entry still returns Done — the fault was resolved, the
+     access simply re-faults. *)
+  let finish page ~from_backing =
+    (match Vm_map.lookup ~count:false map ~addr ~write with
+    | Ok lk ->
+      let write_ok = lk.Vm_map.lk_writable && not from_backing in
+      let prot = hw_prot lk.Vm_map.lk_entry_prot ~write_ok ~page_lock:page.page_lock in
+      let vpn = addr / ps in
+      Pmap.enter pm ~vpn ~frame:page.frame ~prot;
+      Vm_page.add_mapping page pm ~vpn;
+      Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us;
+      burst_enter ()
+    | Error _ -> ());
+    Done
+  in
+  (* FAST PATH terminal: the lookup that got us here is still valid (no
+     yields since), so validate directly from it. *)
+  let fast_finish lk page ~from_backing =
+    stats.s_fast_faults <- stats.s_fast_faults + 1;
+    stats.s_hits <- stats.s_hits + 1;
+    Page_queues.activate kctx.Kctx.queues page;
+    let write_ok = lk.Vm_map.lk_writable && not from_backing in
+    let prot = hw_prot lk.Vm_map.lk_entry_prot ~write_ok ~page_lock:page.page_lock in
+    let vpn = addr / ps in
+    Pmap.enter pm ~vpn ~frame:page.frame ~prot;
+    Vm_page.add_mapping page pm ~vpn;
+    Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us;
+    burst_enter ();
+    Done
+  in
+  (* ---- SLOW PATH -------------------------------------------------- *)
+  let rec resolve tries =
     if tries > 512 then Pager_error
     else
-      match Vm_map.lookup map ~addr ~write with
+      match Vm_map.lookup ~count:false map ~addr ~write with
       | Error `Invalid_address -> Invalid_address
       | Error `Protection -> Protection_failure
       | Ok lk -> (
@@ -65,133 +182,129 @@ let handle kctx map ~addr ~write ?policy () =
         let first_off = lk.Vm_map.lk_offset in
         match Vm_object.lookup_chain first_obj ~offset:first_off with
         | Some (page, _owner, depth) ->
-          if page.busy then begin
-            (* Data in transit: wait and retry the whole fault. *)
-            if wait_while page (fun () -> page.busy) then attempt (tries + 1) ~soft:false
-            else
-              match policy with
-              | Zero_fill_after _ when page.absent ->
-                zero_fill_placeholder page;
-                attempt (tries + 1) ~soft:false
-              | _ -> Pager_error
-          end
-          else if page.p_error then begin
-            match policy with
-            | Zero_fill_after _ ->
-              zero_fill_placeholder page;
-              attempt (tries + 1) ~soft:false
-            | Wait_forever | Abort_after _ -> Pager_error
-          end
+          if page.busy then slow_busy page tries
+          else if page.p_error then slow_error page tries
+          else if forbidden page () then slow_lock page tries
+          else if depth > 0 && write then slow_cow first_obj first_off page tries
           else begin
-            (* Manager-imposed lock (§3.4.1): if the lock forbids this
-               access, ask for an unlock and wait for pager_data_lock. *)
-            let still_resident () =
-              match Vm_page.lookup page.p_obj ~offset:page.p_offset with
-              | Some p -> p == page
-              | None -> false
-            in
-            let forbidden () =
-              (* The page may be flushed out from under us while we wait
-                 for the manager's unlock; a dead page ends the wait and
-                 the fault re-runs from scratch. *)
-              still_resident ()
-              && (if write then Prot.can_write page.page_lock else Prot.can_read page.page_lock)
-            in
-            if forbidden () then begin
-              let owner = page.p_obj in
-              (match owner.pager with
-              | Pager _ when not page.unlock_requested ->
-                page.unlock_requested <- true;
-                Pager_client.send_unlock kctx owner ~offset:page.p_offset ~length:ps
-                  ~desired_access:(if write then Prot.write else Prot.read)
-              | Pager _ | No_pager -> ());
-              if wait_while page forbidden then attempt (tries + 1) ~soft:false else Pager_error
-            end
-            else if depth > 0 && write then begin
-              (* Copy-on-write: the page lives in a backing object; give
-                 the first object its own copy (§5.5). *)
-              let frame = Kctx.alloc_frame kctx ~privileged:false in
-              (* The source may have been freed while we slept in
-                 alloc_frame; retry if so. *)
-              if page.busy || not (Hashtbl.mem page.p_obj.obj_pages page.p_offset) then begin
-                Kctx.free_frame kctx frame;
-                attempt (tries + 1) ~soft:false
-              end
-              else begin
-                Phys_mem.copy kctx.Kctx.mem ~src:page.frame ~dst:frame;
-                Kctx.charge kctx kctx.Kctx.params.Machine.page_copy_us;
-                let fresh =
-                  Vm_page.insert kctx first_obj ~offset:first_off ~frame ~busy:false ~absent:false
-                in
-                fresh.dirty <- true;
-                stats.s_cow_faults <- stats.s_cow_faults + 1;
-                Page_queues.activate kctx.Kctx.queues fresh;
-                (* Any stale read-only translation of the source page
-                   must refault so it resolves through its own chain
-                   (sharers of this object must see the new copy). *)
-                Vm_page.remove_all_mappings kctx page;
-                (* The classic chain-length optimisation: if the frozen
-                   object below is now only ours, merge it away. *)
-                Vm_object.collapse kctx first_obj;
-                validate fresh ~from_backing:false ~soft:false
-              end
-            end
-            else begin
-              if soft then stats.s_hits <- stats.s_hits + 1;
-              Page_queues.activate kctx.Kctx.queues page;
-              validate page ~from_backing:(depth > 0) ~soft
-            end
+            (* Resident and usable after at least one slow step. *)
+            Page_queues.activate kctx.Kctx.queues page;
+            finish page ~from_backing:(depth > 0)
           end
         | None -> (
-          (* Not resident anywhere in the chain: ask the first pager in
-             the chain, or zero-fill. *)
           match Vm_object.chain_has_pager first_obj ~offset:first_off with
-          | Some (powner, poffset) ->
-            let page = Pager_client.request_page kctx powner ~offset:poffset ~desired_access:(if write then Prot.rw else Prot.read) in
-            if wait_while page (fun () -> page.busy) then attempt (tries + 1) ~soft:false
-            else begin
-              match policy with
-              | Zero_fill_after _ ->
-                zero_fill_placeholder page;
-                attempt (tries + 1) ~soft:false
-              | Wait_forever | Abort_after _ ->
-                page.p_error <- true;
-                Pager_error
-            end
-          | None ->
-            let frame = Kctx.alloc_frame kctx ~privileged:false in
-            if Hashtbl.mem first_obj.obj_pages first_off then begin
-              (* Someone beat us to it while we waited for memory. *)
-              Kctx.free_frame kctx frame;
-              attempt (tries + 1) ~soft:false
-            end
-            else begin
-              let page =
-                Vm_page.insert kctx first_obj ~offset:first_off ~frame ~busy:false ~absent:false
-              in
-              stats.s_zero_fill <- stats.s_zero_fill + 1;
-              Page_queues.activate kctx.Kctx.queues page;
-              validate page ~from_backing:false ~soft:false
-            end))
-  and validate page ~from_backing ~soft =
-    ignore soft;
-    match Vm_map.pmap map with
-    | None -> invalid_arg "Fault.handle: map has no pmap"
-    | Some pm ->
-      (* Hardware validation: entry protection, minus write when the
-         page belongs to a backing object (a future write must fault to
-         copy), minus the manager's lock. *)
-      let lookup_again = Vm_map.lookup map ~addr ~write in
-      (match lookup_again with
-      | Ok lk ->
-        let prot = lk.Vm_map.lk_entry_prot in
-        let prot = if lk.Vm_map.lk_writable && not from_backing then prot else Prot.diff prot Prot.write in
-        let prot = Prot.diff prot page.page_lock in
-        let vpn = addr / ps in
-        Pmap.enter pm ~vpn ~frame:page.frame ~prot;
-        Vm_page.add_mapping page pm ~vpn;
-        Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us
-      | Error _ -> ());
-      Done
+          | Some (powner, poffset) -> slow_pager powner poffset tries
+          | None -> slow_zero_fill first_obj first_off tries))
+  (* Data in transit (or another faulter working the page): wait and
+     retry. A speculative cluster placeholder is promoted to a demanded
+     page first — the manager may have answered the cluster request
+     only partially, so it is asked again for this page alone. *)
+  and slow_busy page tries =
+    stats.s_slow_busy <- stats.s_slow_busy + 1;
+    if page.cluster_spec then begin
+      page.cluster_spec <- false;
+      Pager_client.rerequest kctx page
+        ~desired_access:(if write then Prot.rw else Prot.read)
+    end;
+    if wait_while page (fun () -> page.busy) then resolve (tries + 1)
+    else
+      match policy with
+      | Zero_fill_after _ when page.absent ->
+        zero_fill_placeholder page;
+        resolve (tries + 1)
+      | Zero_fill_after _ | Wait_forever | Abort_after _ -> Pager_error
+  (* A previous pager interaction failed for this page. *)
+  and slow_error page tries =
+    match policy with
+    | Zero_fill_after _ ->
+      zero_fill_placeholder page;
+      resolve (tries + 1)
+    | Wait_forever | Abort_after _ -> Pager_error
+  (* Manager-imposed lock (§3.4.1): if the lock forbids this access,
+     ask for an unlock and wait for pager_data_lock. *)
+  and slow_lock page tries =
+    stats.s_slow_lock <- stats.s_slow_lock + 1;
+    let owner = page.p_obj in
+    (match owner.pager with
+    | Pager _ when not page.unlock_requested ->
+      page.unlock_requested <- true;
+      Pager_client.send_unlock kctx owner ~offset:page.p_offset ~length:ps
+        ~desired_access:(if write then Prot.write else Prot.read)
+    | Pager _ | No_pager -> ());
+    if wait_while page (forbidden page) then resolve (tries + 1) else Pager_error
+  (* Copy-on-write: the page lives in a backing object; give the first
+     object its own copy (§5.5). *)
+  and slow_cow first_obj first_off page tries =
+    let frame = Kctx.alloc_frame kctx ~privileged:false in
+    (* The source may have been freed while we slept in alloc_frame;
+       retry if so. *)
+    if page.busy || not (Hashtbl.mem page.p_obj.obj_pages page.p_offset) then begin
+      Kctx.free_frame kctx frame;
+      resolve (tries + 1)
+    end
+    else begin
+      Phys_mem.copy kctx.Kctx.mem ~src:page.frame ~dst:frame;
+      Kctx.charge kctx kctx.Kctx.params.Machine.page_copy_us;
+      let fresh =
+        Vm_page.insert kctx first_obj ~offset:first_off ~frame ~busy:false ~absent:false
+      in
+      fresh.dirty <- true;
+      stats.s_cow_faults <- stats.s_cow_faults + 1;
+      Page_queues.activate kctx.Kctx.queues fresh;
+      (* Any stale read-only translation of the source page must refault
+         so it resolves through its own chain (sharers of this object
+         must see the new copy). *)
+      Vm_page.remove_all_mappings kctx page;
+      (* The classic chain-length optimisation: if the frozen object
+         below is now only ours, merge it away. *)
+      Vm_object.collapse kctx first_obj;
+      finish fresh ~from_backing:false
+    end
+  (* Not resident anywhere in the chain, and a manager owns the data:
+     issue a (possibly clustered) pager_data_request and wait. *)
+  and slow_pager powner poffset tries =
+    stats.s_slow_pager <- stats.s_slow_pager + 1;
+    let window = if write then 1 else kctx.Kctx.cluster_pages in
+    let page =
+      Pager_client.request_cluster kctx powner ~offset:poffset
+        ~desired_access:(if write then Prot.rw else Prot.read)
+        ~window
+    in
+    if wait_while page (fun () -> page.busy) then resolve (tries + 1)
+    else
+      match policy with
+      | Zero_fill_after _ when page.absent ->
+        zero_fill_placeholder page;
+        resolve (tries + 1)
+      | Zero_fill_after _ | Wait_forever | Abort_after _ ->
+        if page.absent then page.p_error <- true;
+        Pager_error
+  (* Not resident, no manager anywhere in the chain: fresh zeroes. *)
+  and slow_zero_fill first_obj first_off tries =
+    let frame = Kctx.alloc_frame kctx ~privileged:false in
+    if Hashtbl.mem first_obj.obj_pages first_off then begin
+      (* Someone beat us to it while we waited for memory. *)
+      Kctx.free_frame kctx frame;
+      resolve (tries + 1)
+    end
+    else begin
+      let page =
+        Vm_page.insert kctx first_obj ~offset:first_off ~frame ~busy:false ~absent:false
+      in
+      stats.s_zero_fill <- stats.s_zero_fill + 1;
+      Page_queues.activate kctx.Kctx.queues page;
+      finish page ~from_backing:false
+    end
   in
-  attempt 0 ~soft:true
+  (* ---- dispatch ---------------------------------------------------- *)
+  match Vm_map.lookup map ~addr ~write with
+  | Error `Invalid_address -> Invalid_address
+  | Error `Protection -> Protection_failure
+  | Ok lk -> (
+    match Vm_object.lookup_chain lk.Vm_map.lk_obj ~offset:lk.Vm_map.lk_offset with
+    | Some (page, _owner, depth)
+      when (not page.busy) && (not page.absent) && (not page.p_error)
+           && (not (lock_forbids page))
+           && not (write && depth > 0) ->
+      fast_finish lk page ~from_backing:(depth > 0)
+    | Some _ | None -> resolve 0)

@@ -32,6 +32,9 @@ type t = {
   mutable rescue_writer : (bytes -> unit) option;
   mutable enable_collapse : bool;
       (** merge single-referenced anonymous shadow chains (ablation A1) *)
+  mutable cluster_pages : int;
+      (** cluster-in window: max pages per pager_data_request on a hard
+          read fault (1 disables clustering) *)
 }
 
 let fresh_obj_id t =
@@ -123,4 +126,5 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
     next_write_id = 1;
     rescue_writer = None;
     enable_collapse = true;
+    cluster_pages = 8;
   }

@@ -46,6 +46,9 @@ type t = {
       (** merge single-referenced anonymous shadow objects into their
           shadows after COW resolution — the classic chain-length
           optimisation; exposed as a switch for the ablation bench *)
+  mutable cluster_pages : int;
+      (** cluster-in window: max pages per pager_data_request on a hard
+          read fault (1 disables clustering) *)
 }
 
 val create :

@@ -55,28 +55,84 @@ let ensure_initialized kctx obj =
       Mach_sim.Ivar.fill p.init_wait ()
     end
 
+let send_data_request kctx p ~offset ~length ~desired_access =
+  let request =
+    match p.request_port with Some r -> r | None -> invalid_arg "data_request: not initialized"
+  in
+  kctx.Kctx.stats.s_data_requests <- kctx.Kctx.stats.s_data_requests + 1;
+  kernel_send kctx
+    (Pager_iface.encode_k2m ~reply:None
+       (Pager_iface.Data_request
+          { memory_object = p.memory_object; request; offset; length; desired_access })
+       ~dest:p.memory_object)
+
 let request_page kctx obj ~offset ~desired_access =
   let p = get_pager obj in
   ensure_initialized kctx obj;
   let frame = Kctx.alloc_frame kctx ~privileged:p.is_default in
   let page = Vm_page.insert kctx obj ~offset ~frame ~busy:true ~absent:true in
   obj.paging_in_progress <- obj.paging_in_progress + 1;
-  kctx.Kctx.stats.s_data_requests <- kctx.Kctx.stats.s_data_requests + 1;
-  let request =
-    match p.request_port with Some r -> r | None -> invalid_arg "request_page: not initialized"
-  in
-  kernel_send kctx
-    (Pager_iface.encode_k2m ~reply:None
-       (Pager_iface.Data_request
-          {
-            memory_object = p.memory_object;
-            request;
-            offset;
-            length = kctx.Kctx.page_size;
-            desired_access;
-          })
-       ~dest:p.memory_object);
+  send_data_request kctx p ~offset ~length:kctx.Kctx.page_size ~desired_access;
   page
+
+let rerequest kctx page ~desired_access =
+  let p = get_pager page.p_obj in
+  send_data_request kctx p ~offset:page.p_offset ~length:kctx.Kctx.page_size ~desired_access
+
+let request_cluster kctx obj ~offset ~desired_access ~window =
+  let p = get_pager obj in
+  ensure_initialized kctx obj;
+  let ps = kctx.Kctx.page_size in
+  (* The demanded page blocks for a frame like any hard fault. While we
+     slept another faulter may have installed the page; hand theirs back
+     and let the caller wait on it. *)
+  let frame = Kctx.alloc_frame kctx ~privileged:p.is_default in
+  match Vm_page.lookup obj ~offset with
+  | Some page ->
+    Kctx.free_frame kctx frame;
+    page
+  | None ->
+    let page = Vm_page.insert kctx obj ~offset ~frame ~busy:true ~absent:true in
+    obj.paging_in_progress <- obj.paging_in_progress + 1;
+    (* Cluster-in: extend the request over forward-adjacent pages that
+       are not resident, as long as free frames come without waiting and
+       memory is not already tight. The placeholders are speculative —
+       no faulter waits on them — and marked [cluster_spec] so they can
+       be reclaimed if the manager never fills them. *)
+    let obj_end = Kctx.round_page kctx obj.obj_size in
+    let spec = ref [] in
+    let n = ref 1 in
+    (try
+       while !n < window do
+         let off = offset + (!n * ps) in
+         if off >= obj_end
+            || Kctx.need_pageout kctx
+            || Vm_page.lookup obj ~offset:off <> None
+         then raise Exit;
+         match Kctx.try_alloc_frame kctx ~privileged:false with
+         | None -> raise Exit
+         | Some f ->
+           let sp = Vm_page.insert kctx obj ~offset:off ~frame:f ~busy:true ~absent:true in
+           sp.cluster_spec <- true;
+           obj.paging_in_progress <- obj.paging_in_progress + 1;
+           spec := sp :: !spec;
+           incr n
+       done
+     with Exit -> ());
+    let extra = List.length !spec in
+    kctx.Kctx.stats.s_cluster_pages <- kctx.Kctx.stats.s_cluster_pages + extra;
+    if extra > 0 then begin
+      (* Reclaim unfilled placeholders after the pager timeout so a
+         manager that answers partially (or not at all) cannot pin
+         frames forever. [release_placeholder] no-ops on pages that were
+         filled or promoted to demanded pages in the meantime. *)
+      let doomed = !spec in
+      Engine.schedule kctx.Kctx.engine
+        ~at:(Engine.now kctx.Kctx.engine +. kctx.Kctx.pager_timeout_us)
+        (fun () -> List.iter (Vm_page.release_placeholder kctx) doomed)
+    end;
+    send_data_request kctx p ~offset ~length:((1 + extra) * ps) ~desired_access;
+    page
 
 let bind_to_default_pager kctx obj =
   match obj.pager with
@@ -202,6 +258,7 @@ let fill_provided kctx obj ~offset ~data ~lock_value =
       Phys_mem.write kctx.Kctx.mem page.frame ~off:0 chunk;
       page.absent <- false;
       page.p_error <- false;
+      page.cluster_spec <- false;
       page.page_lock <- lock_value;
       obj.paging_in_progress <- max 0 (obj.paging_in_progress - 1);
       stats.s_pageins <- stats.s_pageins + 1;
@@ -235,6 +292,7 @@ let data_unavailable kctx obj ~offset ~size =
       (* Frame is already zero-filled. *)
       page.absent <- false;
       page.p_error <- false;
+      page.cluster_spec <- false;
       obj.paging_in_progress <- max 0 (obj.paging_in_progress - 1);
       stats.s_zero_fill <- stats.s_zero_fill + 1;
       Page_queues.activate kctx.Kctx.queues page;

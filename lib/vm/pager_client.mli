@@ -26,6 +26,21 @@ val request_page : Kctx.t -> obj -> offset:int -> desired_access:Mach_hw.Prot.t 
 (** Allocate a busy+absent placeholder page and send
     [pager_data_request] for one page. The caller waits on the page. *)
 
+val request_cluster :
+  Kctx.t -> obj -> offset:int -> desired_access:Mach_hw.Prot.t -> window:int -> page
+(** Like {!request_page} for the page at [offset], but widen the request
+    over up to [window - 1] forward-adjacent non-resident pages (stopping
+    at the object end, at a resident page, or when a frame is not free
+    without waiting). The extra placeholders are speculative
+    ([cluster_spec]): no faulter waits on them, and a timer reclaims any
+    the manager never fills. Returns the demanded page — which may be a
+    page another faulter installed while we slept for a frame. *)
+
+val rerequest : Kctx.t -> page -> desired_access:Mach_hw.Prot.t -> unit
+(** Re-send a single-page [pager_data_request] for an existing
+    busy+absent placeholder — used when a fault lands on a speculative
+    cluster page whose data may never come (partial provide). *)
+
 val bind_to_default_pager : Kctx.t -> obj -> unit
 (** First pageout from an anonymous object: create a kernel memory
     object, hand it to the default pager with [pager_create], and bind

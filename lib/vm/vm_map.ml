@@ -2,11 +2,20 @@ open Vm_types
 module Prot = Mach_hw.Prot
 module Pmap = Mach_hw.Pmap
 
+(* Entries are kept in a sorted array (by va_start, non-overlapping) so
+   the fault-path lookup is a binary search instead of the historical
+   linear list walk. A per-map "last hit" hint short-circuits the search
+   entirely for the common run of faults against one region (the BSD
+   vm_map hint). Entry va_start never changes after insertion (clip only
+   shrinks va_end and inserts a fresh tail), so sortedness is preserved
+   by construction; structural changes go through [set_entries], which
+   is also the single place the hint gets invalidated. *)
 type t = {
   map_id : int;
   kctx : Kctx.t;
   map_pmap : Pmap.t option;
-  mutable map_entries : entry list; (* sorted by va_start, non-overlapping *)
+  mutable map_entries : entry array; (* sorted by va_start, non-overlapping *)
+  mutable map_hint : entry option; (* last entry a lookup resolved to *)
   mutable mref : int; (* sharing-map references *)
   va_limit : int;
 }
@@ -41,13 +50,21 @@ let next_map_id = ref 0
 
 let create kctx ~pmap ?(va_limit = 1 lsl 40) () =
   incr next_map_id;
-  { map_id = !next_map_id; kctx; map_pmap = pmap; map_entries = []; mref = 1; va_limit }
+  {
+    map_id = !next_map_id;
+    kctx;
+    map_pmap = pmap;
+    map_entries = [||];
+    map_hint = None;
+    mref = 1;
+    va_limit;
+  }
 
 let pmap t = t.map_pmap
 let kctx t = t.kctx
-let entries t = t.map_entries
+let entries t = Array.to_list t.map_entries
 let page_size t = t.kctx.Kctx.page_size
-let size t = List.fold_left (fun acc e -> acc + (e.va_end - e.va_start)) 0 t.map_entries
+let size t = Array.fold_left (fun acc e -> acc + (e.va_end - e.va_start)) 0 t.map_entries
 
 let check_invariants t =
   let ps = page_size t in
@@ -73,19 +90,78 @@ let check_invariants t =
           else go e.va_end rest
       end
   in
-  go 0 t.map_entries
+  match go 0 (entries t) with
+  | Error _ as e -> e
+  | Ok () -> (
+    (* The hint must always reference a live entry of this map. *)
+    match t.map_hint with
+    | None -> Ok ()
+    | Some h ->
+      if Array.exists (fun e -> e == h) t.map_entries then Ok ()
+      else Error "hint references an entry not in the map")
 
-(* ---- entry list surgery ---------------------------------------------- *)
+(* ---- entry array surgery ----------------------------------------------- *)
 
-let find_entry t va = List.find_opt (fun e -> va >= e.va_start && va < e.va_end) t.map_entries
+(* Replace the entry set wholesale; any removal invalidates the hint
+   (a hinted lookup must never resolve to a detached entry). *)
+let set_entries t es =
+  t.map_entries <- es;
+  (match t.map_hint with
+  | Some h when not (Array.exists (fun e -> e == h) es) -> t.map_hint <- None
+  | Some _ | None -> ())
+
+(* Index of the last entry with va_start <= va, or -1. *)
+let find_slot t va =
+  let es = t.map_entries in
+  let lo = ref 0 and hi = ref (Array.length es - 1) and best = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if es.(mid).va_start <= va then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !best
+
+let covers e va = va >= e.va_start && va < e.va_end
+
+let find_entry ?(count = false) t va =
+  let stats = t.kctx.Kctx.stats in
+  match t.map_hint with
+  | Some h when covers h va ->
+    if count then stats.s_hint_hits <- stats.s_hint_hits + 1;
+    Some h
+  | _ ->
+    if count then stats.s_hint_misses <- stats.s_hint_misses + 1;
+    let i = find_slot t va in
+    if i < 0 then None
+    else
+      let e = t.map_entries.(i) in
+      if covers e va then begin
+        t.map_hint <- Some e;
+        Some e
+      end
+      else None
 
 let insert_entry t e =
-  let rec go = function
-    | [] -> [ e ]
-    | hd :: tl when e.va_start < hd.va_start -> e :: hd :: tl
-    | hd :: tl -> hd :: go tl
-  in
-  t.map_entries <- go t.map_entries
+  let es = t.map_entries in
+  let n = Array.length es in
+  let pos = ref n in
+  (* Binary search for the insertion point (first entry starting after e). *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if e.va_start < es.(mid).va_start then begin
+      pos := mid;
+      hi := mid - 1
+    end
+    else lo := mid + 1
+  done;
+  let out = Array.make (n + 1) e in
+  Array.blit es 0 out 0 !pos;
+  Array.blit es !pos out (!pos + 1) (n - !pos);
+  t.map_entries <- out
 
 (* Split [e] so that [addr] becomes an entry boundary. *)
 let clip t addr =
@@ -120,8 +196,11 @@ let clip t addr =
 let entries_in_range t ~lo ~hi =
   clip t lo;
   clip t hi;
-  List.filter (fun e -> e.va_start >= lo && e.va_end <= hi && e.va_start < hi && e.va_end > lo)
-    t.map_entries
+  Array.fold_right
+    (fun e acc ->
+      if e.va_start >= lo && e.va_end <= hi && e.va_start < hi && e.va_end > lo then e :: acc
+      else acc)
+    t.map_entries []
 
 (* The range must be fully mapped; returns entries in order. *)
 let entries_covering t ~lo ~hi =
@@ -163,7 +242,7 @@ let iter_entry_pages e ~lo ~hi f =
   | Shared s ->
     let sh_lo = s.sh_offset + (lo - e.va_start) in
     let sh_hi = sh_lo + span in
-    List.iter
+    Array.iter
       (fun se ->
         let olo = max se.va_start sh_lo and ohi = min se.va_end sh_hi in
         if olo < ohi then
@@ -213,13 +292,13 @@ let release_entry t e =
   | Shared s ->
     s.share_map.mref <- s.share_map.mref - 1;
     if s.share_map.mref = 0 then begin
-      List.iter
+      Array.iter
         (fun se ->
           match se.backing with
           | Direct d -> Vm_object.deallocate t.kctx d.d_obj
           | Shared _ -> assert false)
         s.share_map.map_entries;
-      s.share_map.map_entries <- []
+      set_entries s.share_map [||]
     end
 
 let deallocate t ~addr ~size =
@@ -227,18 +306,19 @@ let deallocate t ~addr ~size =
   let lo = addr land lnot (ps - 1) in
   let hi = (addr + size + ps - 1) land lnot (ps - 1) in
   let doomed = entries_in_range t ~lo ~hi in
-  t.map_entries <- List.filter (fun e -> not (List.memq e doomed)) t.map_entries;
+  set_entries t
+    (Array.of_list (List.filter (fun e -> not (List.memq e doomed)) (entries t)));
   List.iter (release_entry t) doomed
 
 let destroy t =
-  let doomed = t.map_entries in
-  t.map_entries <- [];
+  let doomed = entries t in
+  set_entries t [||];
   List.iter (release_entry t) doomed
 
 (* ---- allocation -------------------------------------------------------- *)
 
 let range_free t ~lo ~hi =
-  not (List.exists (fun e -> e.va_start < hi && e.va_end > lo) t.map_entries)
+  not (Array.exists (fun e -> e.va_start < hi && e.va_end > lo) t.map_entries)
 
 let find_space t ~size =
   let ps = page_size t in
@@ -246,7 +326,7 @@ let find_space t ~size =
     | [] -> if cursor + size <= t.va_limit then cursor else raise No_space
     | e :: rest -> if cursor + size <= e.va_start then cursor else go e.va_end rest
   in
-  go ps t.map_entries
+  go ps (entries t)
 
 let pick_address t ?addr ~size ~anywhere () =
   let ps = page_size t in
@@ -332,7 +412,7 @@ let regions t =
         ri_shared = shared;
         ri_name_port = name_port;
       })
-    t.map_entries
+    (entries t)
 
 (* ---- lookup (fault path) ---------------------------------------------- *)
 
@@ -350,8 +430,8 @@ let resolve_copy kctx d ~span =
   d.d_offset <- 0;
   d.needs_copy <- false
 
-let lookup t ~addr ~write =
-  match find_entry t addr with
+let lookup ?(count = true) t ~addr ~write =
+  match find_entry ~count t addr with
   | None -> Error `Invalid_address
   | Some e ->
     let needed = if write then Prot.write else Prot.read in
@@ -396,7 +476,7 @@ let promote_to_share t e =
     let sm = create t.kctx ~pmap:None ~va_limit:t.va_limit () in
     let span = e.va_end - e.va_start in
     sm.map_entries <-
-      [
+      [|
         {
           va_start = 0;
           va_end = span;
@@ -405,7 +485,7 @@ let promote_to_share t e =
           inheritance = Inherit_share;
           backing = Direct d;
         };
-      ];
+      |];
     e.backing <- Shared { share_map = sm; sh_offset = 0 }
 
 (* Set up symmetric copy-on-write of a direct record for a new holder:
@@ -442,7 +522,7 @@ let copy_pieces t e ~lo ~hi emit =
 
 let fork t ~child_pmap =
   let child = create t.kctx ~pmap:child_pmap ~va_limit:t.va_limit () in
-  List.iter
+  Array.iter
     (fun e ->
       match e.inheritance with
       | Inherit_none -> ()

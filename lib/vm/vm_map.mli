@@ -108,12 +108,19 @@ type lookup = {
   lk_writable : bool;  (** hardware may map writable (no pending COW) *)
 }
 
-val lookup : t -> addr:int -> write:bool -> (lookup, [ `Invalid_address | `Protection ]) result
+val lookup :
+  ?count:bool -> t -> addr:int -> write:bool -> (lookup, [ `Invalid_address | `Protection ]) result
 (** Resolve an address for an access: follows sharing maps, checks
     protection, and resolves pending copy-on-write for writes by
     interposing a shadow object (§5.5 "copy-on-write" step). For reads
     of COW regions, [lk_writable] is false: the page must be mapped
-    read-only so the eventual write faults. *)
+    read-only so the eventual write faults.
+
+    Lookups first consult the map's last-hit hint, then binary-search
+    the sorted entry index; [count] (default true) controls whether the
+    hint hit/miss statistics are charged — the fault handler passes
+    [~count:false] for its internal re-lookups so the counters measure
+    one probe per fault. *)
 
 val fork : t -> child_pmap:Mach_hw.Pmap.t option -> t
 (** Build a child map per the inheritance attributes (§3.3): [Share]

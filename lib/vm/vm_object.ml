@@ -61,9 +61,15 @@ let destroy_pages kctx obj =
     | _ ->
       List.iter
         (fun p ->
-          Vm_page.wait_unbusy p;
-          (* The page may have been freed or renamed while we waited. *)
-          if p.p_obj == obj && Hashtbl.mem obj.obj_pages p.p_offset then Vm_page.free kctx p)
+          (* Speculative cluster placeholders have no waiters and no
+             data coming that anyone cares about: drop them instead of
+             stalling teardown until the reclaim timer. *)
+          if p.cluster_spec then Vm_page.release_placeholder kctx p
+          else begin
+            Vm_page.wait_unbusy p;
+            (* The page may have been freed or renamed while we waited. *)
+            if p.p_obj == obj && Hashtbl.mem obj.obj_pages p.p_offset then Vm_page.free kctx p
+          end)
         pages;
       drain ()
   in

@@ -25,6 +25,7 @@ let insert kctx obj ~offset ~frame ~busy ~absent =
       q_state = Q_none;
       q_node = None;
       mappings = [];
+      cluster_spec = false;
     }
   in
   Hashtbl.replace obj.obj_pages offset page;
@@ -85,6 +86,19 @@ let free kctx page =
   kctx.Kctx.stats.s_pages_freed <- kctx.Kctx.stats.s_pages_freed + 1;
   let n = List.length mappings in
   if n > 0 then Kctx.charge kctx (float_of_int n *. kctx.Kctx.params.Machine.map_op_us)
+
+(* Reclaim a speculative cluster-in placeholder the manager never
+   filled. Spec pages are busy+absent with no waiters (a fault landing
+   on one clears the flag), so dropping them is always safe. *)
+let release_placeholder kctx page =
+  if page.cluster_spec && page.busy && page.absent
+     && Hashtbl.mem page.p_obj.obj_pages page.p_offset
+  then begin
+    page.cluster_spec <- false;
+    page.p_obj.paging_in_progress <- max 0 (page.p_obj.paging_in_progress - 1);
+    set_unbusy page;
+    free kctx page
+  end
 
 let rename kctx page obj ~offset =
   if Hashtbl.mem obj.obj_pages offset then invalid_arg "Vm_page.rename: target offset occupied";

@@ -46,6 +46,11 @@ val free : Kctx.t -> page -> unit
 (** Remove from its object, the queues and all pmaps; release the frame.
     The page must not be busy. *)
 
+val release_placeholder : Kctx.t -> page -> unit
+(** Reclaim a speculative cluster-in placeholder ([cluster_spec], still
+    busy+absent) whose data never arrived; no-op otherwise. Safe because
+    no faulter ever waits on a speculative page. *)
+
 val rename : Kctx.t -> page -> obj -> offset:int -> unit
 (** Move the page to cache a different (object, offset) — used by
     double paging to hand a dirty page to a holding object. Existing

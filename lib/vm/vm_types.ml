@@ -70,6 +70,12 @@ and page = {
   mutable q_state : queue_state;
   mutable q_node : page Mach_util.Dlist.node option;
   mutable mappings : (Mach_hw.Pmap.t * int) list;  (** (pmap, vpn) validations *)
+  mutable cluster_spec : bool;
+      (** speculative cluster-in placeholder: requested as a neighbor of
+          a hard fault, no faulter has asked for it yet. A fault that
+          lands on such a page re-requests it individually (the manager
+          may have answered the cluster only partially), and stale
+          placeholders are reclaimed rather than waited on. *)
 }
 
 (** A dirty page handed to a data manager by [pager_data_write] parks
@@ -101,6 +107,14 @@ type stats = {
   mutable s_data_unavailable : int;
   mutable s_pageout_to_default : int;  (** §6.2.2 double-paging rescues *)
   mutable s_collapses : int;  (** shadow chains merged away *)
+  mutable s_fast_faults : int;  (** resolved entirely on the fault fast path *)
+  mutable s_hint_hits : int;  (** map lookups answered by the per-map hint *)
+  mutable s_hint_misses : int;  (** map lookups that fell back to binary search *)
+  mutable s_burst_entered : int;  (** neighbor translations pre-entered after a fault *)
+  mutable s_cluster_pages : int;  (** extra pages asked for by clustered data requests *)
+  mutable s_slow_busy : int;  (** slow-path entries: waited on a busy page *)
+  mutable s_slow_lock : int;  (** slow-path entries: waited on a manager unlock *)
+  mutable s_slow_pager : int;  (** slow-path entries: issued a pager request *)
 }
 
 let fresh_stats () =
@@ -121,6 +135,14 @@ let fresh_stats () =
     s_data_unavailable = 0;
     s_pageout_to_default = 0;
     s_collapses = 0;
+    s_fast_faults = 0;
+    s_hint_hits = 0;
+    s_hint_misses = 0;
+    s_burst_entered = 0;
+    s_cluster_pages = 0;
+    s_slow_busy = 0;
+    s_slow_lock = 0;
+    s_slow_pager = 0;
   }
 
 let stats_to_list s =
@@ -141,4 +163,12 @@ let stats_to_list s =
     ("data_unavailable", s.s_data_unavailable);
     ("pageout_to_default", s.s_pageout_to_default);
     ("collapses", s.s_collapses);
+    ("fast_faults", s.s_fast_faults);
+    ("hint_hits", s.s_hint_hits);
+    ("hint_misses", s.s_hint_misses);
+    ("burst_entered", s.s_burst_entered);
+    ("cluster_pages", s.s_cluster_pages);
+    ("slow_busy", s.s_slow_busy);
+    ("slow_lock", s.s_slow_lock);
+    ("slow_pager", s.s_slow_pager);
   ]

@@ -122,6 +122,99 @@ let netmem_coherence_prop =
       Engine.run cluster.Kernel.c_engine;
       !verdict)
 
+(* --- Hinted map lookup: Vm_map keeps a sorted entry index plus a
+   last-hit hint; under random allocate/deallocate/protect mutations
+   every lookup must agree with a naive linear scan over the entry
+   list, and the map invariants must hold after every step. --- *)
+
+let naive_lookup map ~addr ~write =
+  let needed = if write then Prot.write else Prot.read in
+  let find_covering es a =
+    List.find_opt (fun e -> a >= e.Vm_map.va_start && a < e.Vm_map.va_end) es
+  in
+  let rec direct_of e a =
+    match e.Vm_map.backing with
+    | Vm_map.Direct d -> Some (d.Vm_map.d_obj, d.Vm_map.d_offset + (a - e.Vm_map.va_start))
+    | Vm_map.Shared { share_map; sh_offset } -> (
+      let sh = sh_offset + (a - e.Vm_map.va_start) in
+      match find_covering (Vm_map.entries share_map) sh with
+      | Some se -> direct_of se sh
+      | None -> None)
+  in
+  match find_covering (Vm_map.entries map) addr with
+  | None -> Error `Invalid_address
+  | Some e ->
+    if not (Mach_hw.Prot.subset needed e.Vm_map.protection) then Error `Protection
+    else (
+      match direct_of e addr with
+      | Some (obj, off) -> Ok (obj.Vm_types.obj_id, page * (off / page))
+      | None -> Error `Invalid_address)
+
+let hinted_lookup_prop =
+  let open QCheck2 in
+  let gen =
+    Gen.(
+      list_size (int_range 1 40)
+        (tup4 (int_range 0 4) (* op kind *)
+           (int_range 0 60) (* page slot *)
+           (int_range 1 6) (* span in pages *)
+           (int_range 0 63) (* extra probe slot *)))
+  in
+  Test.make ~name:"hinted Vm_map.lookup agrees with linear scan under mutation" ~count:40 gen
+    (fun ops ->
+      let sys = Kernel.create_system () in
+      let verdict = ref true in
+      Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
+          let task = Task.create sys.Kernel.kernel ~name:"mapper" () in
+          let map = Task.map task in
+          let agree addr write =
+            let expected = naive_lookup map ~addr ~write in
+            let actual =
+              match Vm_map.lookup map ~addr ~write with
+              | Ok lk -> Ok (lk.Vm_map.lk_obj.Vm_types.obj_id, lk.Vm_map.lk_offset)
+              | Error _ as e -> e
+            in
+            let same =
+              match (expected, actual) with
+              | Ok a, Ok b -> a = b
+              | Error `Invalid_address, Error `Invalid_address -> true
+              | Error `Protection, Error `Protection -> true
+              | _ -> false
+            in
+            if not same then verdict := false
+          in
+          List.iter
+            (fun (kind, slot, span, probe) ->
+              let a = (slot + 1) * page in
+              let size = span * page in
+              (match kind with
+              | 0 | 3 -> (
+                try ignore (Vm_map.allocate map ~addr:a ~size ~anywhere:false ())
+                with Vm_map.No_space -> ())
+              | 1 -> Vm_map.deallocate map ~addr:a ~size
+              | 2 -> (
+                try Vm_map.protect map ~addr:a ~size ~set_max:false Prot.read
+                with Vm_map.Bad_address _ -> ())
+              | _ -> (
+                try Vm_map.protect map ~addr:a ~size ~set_max:false Prot.rw
+                with Vm_map.Bad_address _ -> ()));
+              (match Vm_map.check_invariants map with
+              | Ok () -> ()
+              | Error msg ->
+                Printf.eprintf "invariant violated: %s\n" msg;
+                verdict := false);
+              (* Probe around the mutation and at an unrelated slot; the
+                 repeated nearby probes exercise the hint, the far one
+                 forces misses/revalidation. *)
+              List.iter
+                (fun addr ->
+                  agree addr false;
+                  agree addr true)
+                [ a; a + 123; a + size - 1; (probe * page) + 17 ])
+            ops);
+      Engine.run sys.Kernel.engine;
+      !verdict)
+
 (* --- Camelot: commit a random number of transactions, leave one
    uncommitted, crash, recover — committed values survive exactly. --- *)
 
@@ -205,6 +298,7 @@ let () =
       ( "system-properties",
         [
           QCheck_alcotest.to_alcotest cow_isolation_prop;
+          QCheck_alcotest.to_alcotest hinted_lookup_prop;
           QCheck_alcotest.to_alcotest netmem_coherence_prop;
           QCheck_alcotest.to_alcotest camelot_recovery_prop;
         ] );

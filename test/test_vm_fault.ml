@@ -346,6 +346,140 @@ let test_regions_expose_pager_name_port () =
           (Mach_ipc.Port.equal name_port memory_object)
       | None -> Alcotest.fail "pager-backed region must expose its name port")
 
+(* A manager recording (offset, length) of every data request, providing
+   [serve] pages per request (the kernel may ask for a whole cluster). *)
+let recording_manager kernel ~serve =
+  let task = Task.create kernel ~name:"rec-mgr" () in
+  let requests = ref [] in
+  let cb =
+    {
+      Mos.no_callbacks with
+      Mos.on_data_request =
+        (fun srv ~memory_object:_ ~request ~offset ~length ~desired_access:_ ->
+          requests := (offset, length) :: !requests;
+          let len = min length (serve * page) in
+          Mos.data_provided srv ~request ~offset
+            ~data:(Bytes.init len (fun i -> Char.chr (65 + ((offset + i) / page mod 26))))
+            ~lock_value:Prot.none);
+    }
+  in
+  let srv = Mos.start task cb in
+  (srv, requests)
+
+let test_clustered_request_multi_page_provide () =
+  (* A hard read fault asks for a whole cluster in ONE message; a manager
+     that honors the length fills every page, and the neighbors are then
+     touched without any further pager traffic. *)
+  with_system (fun sys task ->
+      let srv, requests = recording_manager sys.Kernel.kernel ~serve:8 in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(8 * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      for i = 0 to 7 do
+        match Syscalls.read_bytes task ~addr:(addr + (i * page)) ~len:1 () with
+        | Ok b ->
+          check Alcotest.string
+            (Printf.sprintf "page %d content" i)
+            (String.make 1 (Char.chr (65 + i)))
+            (Bytes.to_string b)
+        | Error e -> Alcotest.failf "read %d: %a" i Access.pp_error e
+      done;
+      check
+        Alcotest.(list (pair int int))
+        "one clustered request" [ (0, 8 * page) ] !requests;
+      let stats = Kernel.stats sys.Kernel.kernel in
+      check Alcotest.int "eight pages paged in" 8 stats.Vm_types.s_pageins;
+      Alcotest.(check bool) "cluster counted" true (stats.Vm_types.s_cluster_pages >= 7))
+
+let test_cluster_clipped_at_object_end () =
+  (* The cluster window must not run past the end of the memory object:
+     a 3-page object gets a 3-page request, not the full window. *)
+  with_system (fun sys task ->
+      let srv, requests = recording_manager sys.Kernel.kernel ~serve:8 in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(3 * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      (match Syscalls.read_bytes task ~addr ~len:1 () with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "read: %a" Access.pp_error e);
+      check
+        Alcotest.(list (pair int int))
+        "request clipped to object size" [ (0, 3 * page) ] !requests)
+
+let test_cluster_partial_provide_rerequest () =
+  (* A manager that answers only the first page of each request: a fault
+     landing on an unfilled speculative placeholder must promote it and
+     re-request that page alone; the reclaim timer frees the rest. *)
+  with_system (fun sys task ->
+      let srv, requests = recording_manager sys.Kernel.kernel ~serve:1 in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(8 * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      (match Syscalls.read_bytes task ~addr ~len:1 () with
+      | Ok b -> check Alcotest.string "page 0" "A" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "read 0: %a" Access.pp_error e);
+      (match Syscalls.read_bytes task ~addr:(addr + (2 * page)) ~len:1 () with
+      | Ok b -> check Alcotest.string "page 2 via re-request" "C" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "read 2: %a" Access.pp_error e);
+      (match List.rev !requests with
+      | [ (o1, l1); (o2, l2) ] ->
+        check Alcotest.int "first request offset" 0 o1;
+        check Alcotest.int "first request is clustered" (8 * page) l1;
+        check Alcotest.int "re-request offset" (2 * page) o2;
+        check Alcotest.int "re-request is a single page" page l2
+      | rs -> Alcotest.failf "expected 2 requests, saw %d" (List.length rs));
+      (* Past the pager timeout the unfilled placeholders are reclaimed:
+         only the two demanded pages stay resident. *)
+      Engine.sleep 2_500_000.0;
+      let kctx = sys.Kernel.kernel.Ktypes.k_kctx in
+      let obj = Option.get (Vm_object.find_by_port kctx memory_object) in
+      check Alcotest.int "speculative placeholders reclaimed" 2
+        (Vm_object.resident_count obj))
+
+let test_zero_fill_races_multi_page_provide () =
+  (* Zero_fill_after fires before a slow manager's clustered provide
+     lands: the demanded page keeps its zeroes (late data is dropped),
+     while the still-absent neighbors accept the provide. *)
+  with_system (fun sys task ->
+      let mgr = Task.create sys.Kernel.kernel ~name:"slow-mgr" () in
+      let requests = ref 0 in
+      let cb =
+        {
+          Mos.no_callbacks with
+          Mos.on_data_request =
+            (fun srv ~memory_object:_ ~request ~offset ~length ~desired_access:_ ->
+              incr requests;
+              Engine.sleep 5000.0;
+              Mos.data_provided srv ~request ~offset
+                ~data:(Bytes.init length (fun i -> Char.chr (65 + ((offset + i) / page mod 26))))
+                ~lock_value:Prot.none);
+        }
+      in
+      let srv = Mos.start mgr cb in
+      let memory_object = Mos.create_memory_object srv () in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(4 * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      (match Syscalls.read_bytes task ~addr ~len:4 ~policy:(Fault.Zero_fill_after 1000.0) () with
+      | Ok b -> check Alcotest.string "zero-filled under policy" "\000\000\000\000" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "read: %a" Access.pp_error e);
+      (* Let the clustered provide arrive. *)
+      Engine.sleep 10_000.0;
+      (match Syscalls.read_bytes task ~addr ~len:4 () with
+      | Ok b -> check Alcotest.string "late data dropped" "\000\000\000\000" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "reread: %a" Access.pp_error e);
+      (match Syscalls.read_bytes task ~addr:(addr + page) ~len:1 () with
+      | Ok b -> check Alcotest.string "neighbor filled by provide" "B" (Bytes.to_string b)
+      | Error e -> Alcotest.failf "neighbor: %a" Access.pp_error e);
+      check Alcotest.int "single clustered request" 1 !requests)
+
 let test_bad_address_surfaces () =
   with_system (fun _sys task ->
       match Syscalls.read_bytes task ~addr:0x7f000000 ~len:1 () with
@@ -379,5 +513,16 @@ let () =
           Alcotest.test_case "mapping at object offset" `Quick test_mapping_at_object_offset;
           Alcotest.test_case "multiple mappings share pages" `Quick
             test_two_mappings_same_object_share_pages;
+        ] );
+      ( "clustered-paging",
+        [
+          Alcotest.test_case "clustered request, multi-page provide" `Quick
+            test_clustered_request_multi_page_provide;
+          Alcotest.test_case "cluster clipped at object end" `Quick
+            test_cluster_clipped_at_object_end;
+          Alcotest.test_case "partial provide triggers re-request" `Quick
+            test_cluster_partial_provide_rerequest;
+          Alcotest.test_case "zero-fill races multi-page provide" `Quick
+            test_zero_fill_races_multi_page_provide;
         ] );
     ]
