@@ -72,15 +72,59 @@ let run_body ~rounds =
               ignore (ok_exn "ext" (Syscalls.touch task ~addr:(ext_addr + (i * page)) ~write:false ()))
             done)
       in
+      (* Writeback pipeline: dirty a range behind a manager that delays
+         its releases, have the manager ask for a clean, and refault
+         mid-clean. The laundry queue absorbs the faulter (clean_hits);
+         the old pipeline would have detached the pages and re-requested
+         them from the manager. *)
+      let wb_mgr = Task.create kernel ~name:"laundry-mgr" () in
+      let wb_request = Ivar.create () in
+      let wb_callbacks =
+        {
+          Mos.no_callbacks with
+          Mos.on_init = (fun _ ~memory_object:_ ~request ~name:_ -> Ivar.fill wb_request request);
+          Mos.on_data_request =
+            (fun srv ~memory_object:_ ~request ~offset ~length ~desired_access:_ ->
+              Mos.data_provided srv ~request ~offset ~data:(Bytes.make length 'w')
+                ~lock_value:Prot.none);
+          Mos.on_data_write =
+            (fun _ ~memory_object:_ ~offset:_ ~data:_ ~release ->
+              (* Sit on the data long enough for refaults to land while
+                 the run's data_write is outstanding. *)
+              Engine.sleep 3000.0;
+              release ());
+        }
+      in
+      let wb_srv = Mos.start wb_mgr wb_callbacks in
+      let wb_object = Mos.create_memory_object wb_srv () in
+      let wb_addr =
+        Syscalls.vm_allocate_with_pager task ~size:(rounds * page) ~anywhere:true
+          ~memory_object:wb_object ~offset:0 ()
+      in
+      for i = 0 to rounds - 1 do
+        ignore (ok_exn "wb-dirty" (Syscalls.touch task ~addr:(wb_addr + (i * page)) ~write:true ()))
+      done;
+      let wb_req = Ivar.read wb_request in
+      Mos.clean_request wb_srv ~request:wb_req ~offset:0 ~length:(rounds * page);
+      (* Let the kernel launder the runs, then refault mid-clean. *)
+      Engine.sleep 500.0;
+      let (), wb_us =
+        timed engine (fun () ->
+            for i = 0 to rounds - 1 do
+              ignore
+                (ok_exn "wb-refault" (Syscalls.touch task ~addr:(wb_addr + (i * page)) ~write:true ()))
+            done)
+      in
       (* Fault-pipeline counters: how the handler actually resolved the
          workload's faults (fast vs slow path, hint behaviour, clustered
-         pager traffic and burst mappings). *)
+         pager traffic, burst mappings, and the writeback laundry). *)
       let st = sys.Kernel.kernel.Ktypes.k_kctx.Kctx.stats in
       let counters =
         let wanted =
           [
             "faults"; "fast_faults"; "hits"; "hint_hits"; "hint_misses"; "burst_entered";
             "slow_busy"; "slow_lock"; "slow_pager"; "data_requests"; "cluster_pages"; "pageins";
+            "pageouts"; "data_writes"; "laundered"; "clean_hits";
           ]
         in
         List.filter (fun (k, _) -> List.mem k wanted) (Vm_types.stats_to_list st)
@@ -90,6 +134,7 @@ let run_body ~rounds =
           ("soft fault (resident page, pmap refill)", per soft_us);
           ("copy-on-write fault (page copy + shadow)", per cow_us);
           ("external pager fault (IPC round trip to manager)", per ext_us);
+          ("refault during clean (absorbed by laundry queue)", per wb_us);
         ],
         counters ))
 

@@ -15,6 +15,7 @@ type params = {
   context_switch_us : float;
   net_latency_us : float;
   net_us_per_byte : float;
+  pageout_backoff_us : float;
 }
 
 (* Common 1987-era software constants: a local Mach message exchange cost
@@ -33,6 +34,7 @@ let base =
     context_switch_us = 80.0;
     net_latency_us = 5000.0;
     net_us_per_byte = 0.8;
+    pageout_backoff_us = 50.0;
   }
 
 let vax_8800 = { base with model = "VAX 8800"; cpus = 2; local_access_us = 0.4; remote_access_us = Some 0.6 }
@@ -66,7 +68,8 @@ let hypercube =
 let uniprocessor = { base with model = "VAX 11/780"; cpus = 1 }
 
 let custom ?model ?cpus ?local_access_us ?remote_access_us ?page_copy_us ?map_op_us ?fault_base_us
-    ?msg_overhead_us ?context_switch_us ?net_latency_us ?net_us_per_byte mp_class =
+    ?msg_overhead_us ?context_switch_us ?net_latency_us ?net_us_per_byte ?pageout_backoff_us
+    mp_class =
   let start =
     match mp_class with Uma -> multimax | Numa -> butterfly | Norma -> hypercube
   in
@@ -84,6 +87,7 @@ let custom ?model ?cpus ?local_access_us ?remote_access_us ?page_copy_us ?map_op
     context_switch_us = get start.context_switch_us context_switch_us;
     net_latency_us = get start.net_latency_us net_latency_us;
     net_us_per_byte = get start.net_us_per_byte net_us_per_byte;
+    pageout_backoff_us = get start.pageout_backoff_us pageout_backoff_us;
   }
 
 let access_us p ~remote ~words =

@@ -25,6 +25,9 @@ type params = {
   context_switch_us : float;
   net_latency_us : float;  (** one-way inter-node message latency *)
   net_us_per_byte : float;  (** inter-node transfer cost per byte *)
+  pageout_backoff_us : float;
+      (** pageout-daemon back-off between reclaim passes while laundry is
+          in flight; sweepable by the benches *)
 }
 
 val vax_8800 : params
@@ -55,6 +58,7 @@ val custom :
   ?context_switch_us:float ->
   ?net_latency_us:float ->
   ?net_us_per_byte:float ->
+  ?pageout_backoff_us:float ->
   mp_class ->
   params
 (** A parameterised machine starting from class-appropriate defaults. *)

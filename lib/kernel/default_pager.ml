@@ -120,17 +120,26 @@ let handle t (msg : Message.t) =
         send t (Pager_iface.encode_m2k (Pager_iface.Release_write { write_id }) ~request)
       | None -> ())
     | Some m ->
-      let block =
-        match Hashtbl.find_opt m.blocks offset with
-        | Some b -> b
-        | None ->
-          let b = alloc_block t in
-          Hashtbl.replace m.blocks offset b;
-          t.stored <- t.stored + 1;
-          b
-      in
-      Disk.write t.disk ~block data;
-      (* Promptly release the kernel's holding frame (§6.2.2). *)
+      (* A write may carry a whole run of adjacent pages: store one
+         block per page, then release the entire run with one
+         Release_write (§6.2.2). *)
+      let ps = t.kctx.Kctx.page_size in
+      let npages = max 1 ((Bytes.length data + ps - 1) / ps) in
+      for i = 0 to npages - 1 do
+        let off = offset + (i * ps) in
+        let block =
+          match Hashtbl.find_opt m.blocks off with
+          | Some b -> b
+          | None ->
+            let b = alloc_block t in
+            Hashtbl.replace m.blocks off b;
+            t.stored <- t.stored + 1;
+            b
+        in
+        let len = min ps (Bytes.length data - (i * ps)) in
+        Disk.write t.disk ~block (Bytes.sub data (i * ps) len)
+      done;
+      (* Promptly release the kernel's holding frames (§6.2.2). *)
       send t (Pager_iface.encode_m2k (Pager_iface.Release_write { write_id }) ~request:m.request))
   | Pager_iface.Data_unlock _ | Pager_iface.Lock_completed _ -> ()
 
@@ -166,7 +175,14 @@ let start kctx ~disk =
     Some
       (fun data ->
         Engine.spawn kctx.Kctx.engine ~name:"default-pager-rescue" (fun () ->
-            Disk.write t.disk ~block:scratch_block data));
+            (* Rescued runs span several pages; pay the I/O per page,
+               reusing the scratch block for each. *)
+            let ps = kctx.Kctx.page_size in
+            let npages = max 1 ((Bytes.length data + ps - 1) / ps) in
+            for i = 0 to npages - 1 do
+              let len = min ps (Bytes.length data - (i * ps)) in
+              Disk.write t.disk ~block:scratch_block (Bytes.sub data (i * ps) len)
+            done));
   Engine.spawn kctx.Kctx.engine ~name:"default-pager" (fun () ->
       let rec loop () =
         (match Transport.receive t.node t.space ~from:`Any () with

@@ -64,6 +64,37 @@ let on_data_request t _srv ~memory_object ~request ~offset ~length ~desired_acce
       Mos.data_provided t.srv ~request ~offset ~data ~lock_value:Prot.none
     end)
 
+(* Pageout of a directly-mapped file (footnote 7 mappings): persist the
+   dirty pages. A write may carry a run of adjacent pages — split it
+   into blocks. Without this callback, paged-out file modifications
+   would silently vanish from the cache-object lifecycle. *)
+let on_data_write t _srv ~memory_object ~offset ~data ~release =
+  (match Hashtbl.find_opt t.by_object (Port.id memory_object) with
+  | None -> ()
+  | Some file ->
+    let bs = Fs_layout.block_size t.fs in
+    let nblocks = max 1 ((Bytes.length data + bs - 1) / bs) in
+    (try
+       for i = 0 to nblocks - 1 do
+         let len = min bs (Bytes.length data - (i * bs)) in
+         let block =
+           if len = bs then Bytes.sub data (i * bs) bs
+           else begin
+             (* Partial trailing block: merge over what is stored. *)
+             let b =
+               match Fs_layout.read_block t.fs file.f_name ~index:((offset / bs) + i) with
+               | Some b -> b
+               | None -> Bytes.make bs '\000'
+             in
+             Bytes.blit data (i * bs) b 0 len;
+             b
+           end
+         in
+         Fs_layout.write_block t.fs file.f_name ~index:((offset / bs) + i) block
+       done
+     with Fs_layout.Fs_error _ -> ()));
+  release ()
+
 (* --- RPC side ----------------------------------------------------------- *)
 
 let reply_to t (msg : Message.t) items =
@@ -209,6 +240,9 @@ let start kernel ?(name = "fs-server") ?(enable_cache = true) ?(service_threads 
       Mos.on_data_request =
         (fun srv ~memory_object ~request ~offset ~length ~desired_access ->
           on_data_request (get ()) srv ~memory_object ~request ~offset ~length ~desired_access);
+      Mos.on_data_write =
+        (fun srv ~memory_object ~offset ~data ~release ->
+          on_data_write (get ()) srv ~memory_object ~offset ~data ~release);
       Mos.on_other = (fun srv msg -> on_other (get ()) srv msg);
     }
   in

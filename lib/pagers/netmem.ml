@@ -41,8 +41,6 @@ let region_exn t port =
   | Some r -> r
   | None -> invalid_arg "Netmem: unknown region"
 
-let page_of t region ~offset = region.rg_pages.(offset / t.page_size)
-
 (* --- protocol actions --------------------------------------------------- *)
 
 let flush t region page_idx ~request =
@@ -194,9 +192,18 @@ let on_data_write t ~memory_object ~offset ~data ~release =
   (match Hashtbl.find_opt t.regions (Port.id memory_object) with
   | None -> ()
   | Some region ->
-    let page = page_of t region ~offset in
-    let len = min (Bytes.length data) (Bytes.length page.data) in
-    Bytes.blit data 0 page.data 0 len);
+    (* A write may carry a run of adjacent pages; split it across the
+       per-page records. *)
+    let ps = t.page_size in
+    let npages = max 1 ((Bytes.length data + ps - 1) / ps) in
+    for i = 0 to npages - 1 do
+      let idx = (offset / ps) + i in
+      if idx < Array.length region.rg_pages then begin
+        let page = region.rg_pages.(idx) in
+        let len = min (Bytes.length data - (i * ps)) (Bytes.length page.data) in
+        Bytes.blit data (i * ps) page.data 0 len
+      end
+    done);
   release ()
 
 let on_lock_completed t ~memory_object ~request ~offset ~length =

@@ -201,6 +201,10 @@ let handle kctx map ~addr ~write ?policy () =
      only partially, so it is asked again for this page alone. *)
   and slow_busy page tries =
     stats.s_slow_busy <- stats.s_slow_busy + 1;
+    (* Refault on a busy-cleaning page: absorbed by the laundry
+       machinery — the old pipeline would have detached the page and
+       round-tripped a fresh data_request to the manager. *)
+    if page.q_state = Q_laundry then stats.s_clean_hits <- stats.s_clean_hits + 1;
     if page.cluster_spec then begin
       page.cluster_spec <- false;
       Pager_client.rerequest kctx page

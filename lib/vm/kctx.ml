@@ -50,19 +50,37 @@ let try_alloc_frame t ~privileged =
   let floor_frames = if privileged then 0 else t.reserved_frames in
   if Phys_mem.free_frames t.mem > floor_frames then Phys_mem.alloc t.mem else None
 
+(* Watermarks on the free-frame count. Below the high watermark the
+   pageout daemon works; below the low watermark unprivileged allocators
+   additionally throttle while laundry is in flight, letting in-progress
+   cleans complete instead of racing the daemon for the last frames. *)
 let free_target t = max (2 * t.reserved_frames) (Phys_mem.total_frames t.mem / 20)
-let need_pageout t = Phys_mem.free_frames t.mem < free_target t
+let free_high_watermark = free_target
+let free_low_watermark t = max (t.reserved_frames + 1) (free_target t / 2)
+let need_pageout t = Phys_mem.free_frames t.mem < free_high_watermark t
 
 let alloc_frame t ~privileged =
   let rec loop () =
-    match try_alloc_frame t ~privileged with
-    | Some f ->
-      if need_pageout t then Waitq.broadcast t.pageout_wanted;
-      f
-    | None ->
+    let below_low = Phys_mem.free_frames t.mem < free_low_watermark t in
+    if
+      (not privileged) && below_low
+      && Page_queues.laundry_count t.queues > 0
+    then begin
+      (* Laundry in flight: a release (or the rescue timer) will free
+         frames; wait for it rather than draining toward the reserve. *)
       Waitq.broadcast t.pageout_wanted;
       Waitq.wait t.free_wait;
       loop ()
+    end
+    else
+      match try_alloc_frame t ~privileged with
+      | Some f ->
+        if need_pageout t then Waitq.broadcast t.pageout_wanted;
+        f
+      | None ->
+        Waitq.broadcast t.pageout_wanted;
+        Waitq.wait t.free_wait;
+        loop ()
   in
   loop ()
 

@@ -76,14 +76,25 @@ val try_alloc_frame : t -> privileged:bool -> int option
 
 val alloc_frame : t -> privileged:bool -> int
 (** Blocking form: kicks the pageout daemon and waits for a free frame.
-    If no pageout daemon was started this can block forever — the engine
-    will report the deadlock. *)
+    Below the low watermark, unprivileged callers throttle while laundry
+    is in flight — in-progress cleans (or the §6.2.2 rescue timer) will
+    free frames, so waiting beats draining toward the reserve. If no
+    pageout daemon was started this can block forever — the engine will
+    report the deadlock. *)
 
 val free_frame : t -> int -> unit
 (** Return a frame and wake frame waiters. *)
 
 val free_target : t -> int
 (** The number of free frames the pageout daemon tries to maintain. *)
+
+val free_high_watermark : t -> int
+(** Alias of {!free_target}: below this the daemon reclaims. *)
+
+val free_low_watermark : t -> int
+(** Below this, unprivileged allocators throttle while laundry is in
+    flight. Always above the reserved pool, at most half the high
+    watermark. *)
 
 val need_pageout : t -> bool
 

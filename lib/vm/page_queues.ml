@@ -1,11 +1,12 @@
 open Vm_types
 module Dlist = Mach_util.Dlist
 
-type t = { active : page Dlist.t; inactive : page Dlist.t }
+type t = { active : page Dlist.t; inactive : page Dlist.t; laundry : page Dlist.t }
 
-let create () = { active = Dlist.create (); inactive = Dlist.create () }
+let create () = { active = Dlist.create (); inactive = Dlist.create (); laundry = Dlist.create () }
 let active_count t = Dlist.length t.active
 let inactive_count t = Dlist.length t.inactive
+let laundry_count t = Dlist.length t.laundry
 
 let node_of page =
   match page.q_node with
@@ -19,7 +20,8 @@ let remove t page =
   (match page.q_state with
   | Q_none -> ()
   | Q_active -> Dlist.remove t.active (node_of page)
-  | Q_inactive -> Dlist.remove t.inactive (node_of page));
+  | Q_inactive -> Dlist.remove t.inactive (node_of page)
+  | Q_laundry -> Dlist.remove t.laundry (node_of page));
   page.q_state <- Q_none
 
 let activate t page =
@@ -32,7 +34,41 @@ let deactivate t page =
   Dlist.push_back t.inactive (node_of page);
   page.q_state <- Q_inactive
 
+let launder t page =
+  remove t page;
+  Dlist.push_back t.laundry (node_of page);
+  page.q_state <- Q_laundry
+
 let oldest_active t = Option.map Dlist.value (Dlist.peek_front t.active)
 let oldest_inactive t = Option.map Dlist.value (Dlist.peek_front t.inactive)
 
 let iter_inactive t f = List.iter f (Dlist.to_list t.inactive)
+let iter_laundry t f = List.iter f (Dlist.to_list t.laundry)
+
+(* Invariant oracle for the property tests: every page on a queue must
+   carry the matching [q_state], every page can be on at most one queue,
+   and the counts must agree with the membership walk. *)
+let check_invariants t =
+  let seen = ref [] in
+  let check_queue q want name =
+    let n = ref 0 in
+    let err = ref None in
+    Dlist.iter
+      (fun p ->
+        incr n;
+        if List.memq p !seen then
+          err := Some (Printf.sprintf "page on two queues (second: %s)" name)
+        else seen := p :: !seen;
+        if p.q_state <> want then
+          err := Some (Printf.sprintf "page on %s queue has mismatched q_state" name))
+      q;
+    match !err with
+    | Some e -> Error e
+    | None ->
+      if !n <> Dlist.length q then Error (Printf.sprintf "%s queue length mismatch" name)
+      else Ok ()
+  in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  check_queue t.active Q_active "active" >>= fun () ->
+  check_queue t.inactive Q_inactive "inactive" >>= fun () ->
+  check_queue t.laundry Q_laundry "laundry" >>= fun () -> Ok ()

@@ -1,7 +1,10 @@
 (** The page-replacement queues (§5.4): an active queue in LRU order,
-    an inactive queue of pageout candidates. (Pages "not caching any
-    data" — the paper's free queue — live in {!Mach_hw.Phys_mem}'s free
-    frame list; a freed page's structure is discarded.) *)
+    an inactive queue of pageout candidates, and a laundry queue of
+    dirty pages whose [pager_data_write] is outstanding (the cleaning
+    state of the writeback pipeline — see DESIGN.md). (Pages "not
+    caching any data" — the paper's free queue — live in
+    {!Mach_hw.Phys_mem}'s free frame list; a freed page's structure is
+    discarded.) *)
 
 open Vm_types
 
@@ -10,6 +13,11 @@ type t
 val create : unit -> t
 val active_count : t -> int
 val inactive_count : t -> int
+
+val laundry_count : t -> int
+(** Pages busy-cleaning: shipped to a manager, release not yet seen.
+    Non-zero means pageout is in flight, so allocators may throttle
+    below the low watermark instead of spinning the daemon. *)
 
 val activate : t -> page -> unit
 (** Put the page at the tail of the active queue (most recently used),
@@ -20,6 +28,12 @@ val deactivate : t -> page -> unit
 (** Move to the tail of the inactive queue and clear the hardware
     reference bit so future use is detectable. *)
 
+val launder : t -> page -> unit
+(** Move to the tail of the laundry queue ([q_state = Q_laundry]); the
+    caller marks the page busy and ships its contents in a
+    [pager_data_write]. The page leaves the queue on [release_write],
+    on rescue timeout, or when freed. *)
+
 val remove : t -> page -> unit
 (** Detach from any queue (page being freed or wired). *)
 
@@ -28,3 +42,11 @@ val oldest_inactive : t -> page option
 
 val iter_inactive : t -> (page -> unit) -> unit
 (** Snapshot iteration, safe against removal during the walk. *)
+
+val iter_laundry : t -> (page -> unit) -> unit
+(** Snapshot iteration over the laundry queue. *)
+
+val check_invariants : t -> (unit, string) result
+(** Oracle for the property tests: every page on a queue carries the
+    matching [q_state], no page sits on two queues, and queue lengths
+    agree with a membership walk. *)

@@ -2,15 +2,19 @@
 
     Maintains the free-frame target by aging pages from the active queue
     to the inactive queue (clearing hardware reference bits so reuse is
-    observable), freeing clean inactive pages, and writing dirty ones
-    back to their data managers with [pager_data_write]. Anonymous
-    memory being paged out for the first time is handed to the default
-    pager with [pager_create]. *)
+    observable), freeing clean inactive pages, and laundering dirty ones:
+    each reclaim seed grows into a run of adjacent same-object dirty
+    pages shipped in one [pager_data_write], kept resident busy-cleaning
+    until the manager's release. Anonymous memory being paged out for
+    the first time is handed to the default pager with [pager_create]. *)
 
 val start : Kctx.t -> unit
 (** Spawn the daemon thread. It wakes when {!Kctx.alloc_frame} signals
-    memory pressure, and also on a slow periodic tick. *)
+    memory pressure (including the low-watermark throttle check), and
+    backs off by [Machine.params.pageout_backoff_us] between passes
+    while laundry is in flight. *)
 
 val run_once : Kctx.t -> int
 (** One reclamation pass (for deterministic unit tests): returns the
-    number of frames freed or scheduled for freeing. *)
+    number of frames actually freed. Laundered pages are not counted —
+    their frames come back at [release_write] (or rescue) time. *)

@@ -166,15 +166,53 @@ let bind_to_default_pager kctx obj =
          (Pager_iface.Create { new_memory_object = memory_object; request; name; size = obj.obj_size })
          ~dest:dp)
 
-(* --- pageout (pager_data_write) with §6.2.2 double paging ------------- *)
+(* --- pageout (pager_data_write): laundered, clustered writeback -------- *)
 
+(* A pageout ships a run of adjacent dirty pages in ONE pager_data_write
+   (the write-side mirror of read clustering). The pages normally stay
+   resident on the laundry queue, busy-cleaning, until the manager
+   releases the data — so a refault during the clean waits on the busy
+   machinery instead of round-tripping to the pager. Pages detached
+   before the release (object termination) park their frames in
+   [h_frames] instead. *)
+
+let fresh_write_id kctx =
+  let id = kctx.Kctx.next_write_id in
+  kctx.Kctx.next_write_id <- id + 1;
+  id
+
+(* [page] is still the cleaning page the holding shipped: not freed,
+   renamed, or replaced while we slept. Busy-cleaning pages cannot be
+   freed out from under us, but object teardown detaches structures. *)
+let still_held (h : holding) page =
+  page.p_obj == h.h_obj
+  && (match Hashtbl.find_opt h.h_obj.obj_pages page.p_offset with
+     | Some p -> p == page
+     | None -> false)
+
+(* §6.2.2 double paging: the manager sat on the data past the release
+   timeout. Push the run's contents to the default pager's backing store
+   and take the frames back. Cleaning pages lose their frames — waiters
+   wake and re-resolve against the manager, which still owes the data it
+   never released. Runs in a timer callback, so nothing here may block:
+   mappings were removed at launder time, making every free charge-less. *)
 let rescue kctx (h : holding) =
   if not h.h_released then begin
     h.h_released <- true;
-    kctx.Kctx.stats.s_pageout_to_default <- kctx.Kctx.stats.s_pageout_to_default + 1;
+    Hashtbl.remove kctx.Kctx.holdings h.h_write_id;
+    let pages = List.filter (still_held h) h.h_pages in
+    let rescued = List.length pages + List.length h.h_frames in
+    kctx.Kctx.stats.s_pageout_to_default <-
+      kctx.Kctx.stats.s_pageout_to_default + rescued;
     (match kctx.Kctx.rescue_writer with Some w -> w h.h_data | None -> ());
-    Kctx.free_frame kctx h.h_frame;
-    Hashtbl.remove kctx.Kctx.holdings h.h_write_id
+    List.iter (Kctx.free_frame kctx) h.h_frames;
+    h.h_frames <- [];
+    List.iter
+      (fun page ->
+        Vm_page.set_unbusy page;
+        Vm_page.free kctx page)
+      pages;
+    h.h_pages <- []
   end
 
 let release_write kctx ~write_id =
@@ -182,29 +220,45 @@ let release_write kctx ~write_id =
   | None -> () (* already rescued or bogus id *)
   | Some h ->
     h.h_released <- true;
-    Kctx.free_frame kctx h.h_frame;
-    Hashtbl.remove kctx.Kctx.holdings write_id
+    Hashtbl.remove kctx.Kctx.holdings write_id;
+    List.iter (Kctx.free_frame kctx) h.h_frames;
+    h.h_frames <- [];
+    (* Partial release: the run's pages are handled one at a time, so
+       under continued pressure the head of the run is freed and the
+       tail stays clean-resident once the watermark is met again. *)
+    List.iter
+      (fun page ->
+        if still_held h page then begin
+          page.dirty <- false;
+          Vm_page.set_unbusy page;
+          match h.h_dispose with
+          | Dispose_free -> Vm_page.free kctx page
+          | Dispose_keep ->
+            if Kctx.need_pageout kctx then Vm_page.free kctx page
+            else Page_queues.deactivate kctx.Kctx.queues page
+        end)
+      h.h_pages;
+    h.h_pages <- []
 
-let page_out kctx page ~flush =
-  let obj = page.p_obj in
+(* Ship a prepared run: one holding record, one rescue timer, one
+   pager_data_write. *)
+let ship_run kctx obj ~offset ~data ~dispose ~pages ~frames =
   let p = get_pager obj in
-  let stats = kctx.Kctx.stats in
-  stats.s_pageouts <- stats.s_pageouts + 1;
-  if flush then stats.s_flushes <- stats.s_flushes + 1;
-  Vm_page.harvest_bits kctx page;
-  Vm_page.remove_all_mappings kctx page;
-  let data = Bytes.copy (Phys_mem.data kctx.Kctx.mem page.frame) in
-  let offset = page.p_offset in
-  let write_id = kctx.Kctx.next_write_id in
-  kctx.Kctx.next_write_id <- write_id + 1;
-  let h = { h_write_id = write_id; h_frame = page.frame; h_data = data; h_released = false } in
+  let write_id = fresh_write_id kctx in
+  let h =
+    {
+      h_write_id = write_id;
+      h_obj = obj;
+      h_offset = offset;
+      h_data = data;
+      h_pages = pages;
+      h_frames = frames;
+      h_dispose = dispose;
+      h_released = false;
+    }
+  in
   Hashtbl.replace kctx.Kctx.holdings write_id h;
-  (* Detach the page structure from its object; the frame stays parked
-     in the holding record. *)
-  Page_queues.remove kctx.Kctx.queues page;
-  Hashtbl.remove obj.obj_pages page.p_offset;
-  Vm_page.set_unbusy page;
-  (* Schedule the default-pager rescue if the manager sits on the data. *)
+  kctx.Kctx.stats.s_data_writes <- kctx.Kctx.stats.s_data_writes + 1;
   Engine.schedule kctx.Kctx.engine
     ~at:(Engine.now kctx.Kctx.engine +. kctx.Kctx.data_write_release_timeout_us)
     (fun () -> rescue kctx h);
@@ -212,6 +266,81 @@ let page_out kctx page ~flush =
     (Pager_iface.encode_k2m ~reply:p.request_port
        (Pager_iface.Data_write { memory_object = p.memory_object; offset; data; write_id })
        ~dest:p.memory_object)
+
+(* Launder a run of adjacent dirty pages: keep them resident and
+   busy-cleaning until the manager's release. [pages] must be non-empty,
+   same-object, offset-sorted, offset-adjacent, non-busy. *)
+let write_run kctx pages ~dispose =
+  let obj = (List.hd pages).p_obj in
+  let ps = kctx.Kctx.page_size in
+  let stats = kctx.Kctx.stats in
+  let n = List.length pages in
+  stats.s_pageouts <- stats.s_pageouts + n;
+  stats.s_laundered <- stats.s_laundered + n;
+  (* Mark the whole run busy-cleaning before anything can block, so a
+     concurrent faulter waits on the busy machinery instead of racing. *)
+  List.iter
+    (fun page ->
+      page.busy <- true;
+      Page_queues.launder kctx.Kctx.queues page)
+    pages;
+  (* Invalidate mappings (this may charge map-op time and block — safe
+     now that the pages are busy), then snapshot the run contents. *)
+  List.iter (fun page -> Vm_page.remove_all_mappings kctx page) pages;
+  let data = Bytes.create (n * ps) in
+  List.iteri
+    (fun i page -> Bytes.blit (Phys_mem.data kctx.Kctx.mem page.frame) 0 data (i * ps) ps)
+    pages;
+  ship_run kctx obj ~offset:(List.hd pages).p_offset ~data ~dispose ~pages ~frames:[]
+
+let page_out kctx page ~flush =
+  if flush then kctx.Kctx.stats.s_flushes <- kctx.Kctx.stats.s_flushes + 1;
+  write_run kctx [ page ] ~dispose:(if flush then Dispose_free else Dispose_keep)
+
+(* Object teardown cannot wait for an untrusted manager's release:
+   detach the run's page structures outright and park the frames in the
+   holding; release/rescue returns the frames later. *)
+let write_run_detached kctx pages =
+  let obj = (List.hd pages).p_obj in
+  let ps = kctx.Kctx.page_size in
+  let stats = kctx.Kctx.stats in
+  let n = List.length pages in
+  stats.s_pageouts <- stats.s_pageouts + n;
+  let offset = (List.hd pages).p_offset in
+  (* Detach the structures before anything can block, so no other path
+     finds the pages mid-teardown. *)
+  List.iter
+    (fun page ->
+      Page_queues.remove kctx.Kctx.queues page;
+      Hashtbl.remove obj.obj_pages page.p_offset)
+    pages;
+  List.iter (fun page -> Vm_page.remove_all_mappings kctx page) pages;
+  let data = Bytes.create (n * ps) in
+  List.iteri
+    (fun i page -> Bytes.blit (Phys_mem.data kctx.Kctx.mem page.frame) 0 data (i * ps) ps)
+    pages;
+  let frames = List.map (fun page -> page.frame) pages in
+  ship_run kctx obj ~offset ~data ~dispose:Dispose_free ~pages:[] ~frames
+
+(* Group an offset-sorted page list into maximal runs of adjacent pages
+   satisfying [eligible], each clamped to the cluster window. *)
+let adjacent_runs kctx pages ~eligible =
+  let ps = kctx.Kctx.page_size in
+  let window = max 1 kctx.Kctx.cluster_pages in
+  let runs, cur =
+    List.fold_left
+      (fun (runs, cur) page ->
+        if not (eligible page) then
+          ((if cur = [] then runs else List.rev cur :: runs), [])
+        else
+          match cur with
+          | prev :: _ when page.p_offset = prev.p_offset + ps && List.length cur < window ->
+            (runs, page :: cur)
+          | [] -> (runs, [ page ])
+          | _ -> (List.rev cur :: runs, [ page ]))
+      ([], []) pages
+  in
+  List.rev (if cur = [] then runs else List.rev cur :: runs)
 
 let send_unlock kctx obj ~offset ~length ~desired_access =
   let p = get_pager obj in
@@ -308,33 +437,48 @@ let flush_range kctx obj ~offset ~length ~keep =
     Hashtbl.fold (fun off p acc -> if off >= lo && off < hi then p :: acc else acc) obj.obj_pages []
     |> List.sort (fun a b -> compare a.p_offset b.p_offset)
   in
-  List.iter
-    (fun page ->
-      if not page.busy then begin
-        Vm_page.harvest_bits kctx page;
-        if page.dirty then begin
-          if keep then begin
-            (* pager_clean_request: write back but keep the page. *)
-            let p = get_pager obj in
-            let data = Bytes.copy (Phys_mem.data kctx.Kctx.mem page.frame) in
-            let write_id = kctx.Kctx.next_write_id in
-            kctx.Kctx.next_write_id <- write_id + 1;
-            page.dirty <- false;
-            kctx.Kctx.stats.s_pageouts <- kctx.Kctx.stats.s_pageouts + 1;
-            kernel_send kctx
-              (Pager_iface.encode_k2m ~reply:p.request_port
-                 (Pager_iface.Data_write
-                    { memory_object = p.memory_object; offset = page.p_offset; data; write_id })
-                 ~dest:p.memory_object)
-          end
-          else page_out kctx page ~flush:true
-        end
-        else if not keep then begin
+  let resident page =
+    match Hashtbl.find_opt obj.obj_pages page.p_offset with
+    | Some p -> p == page
+    | None -> false
+  in
+  let window = max 1 kctx.Kctx.cluster_pages in
+  let dispose = if keep then Dispose_keep else Dispose_free in
+  (* Walk the sorted range, shipping each maximal run of adjacent dirty
+     pages as one pager_data_write. Eligibility is re-checked as each
+     run is collected: shipping a run can block, and the world moves. *)
+  let rec walk = function
+    | [] -> ()
+    | page :: rest when page.busy || not (resident page) -> walk rest
+    | page :: rest ->
+      Vm_page.harvest_bits kctx page;
+      if page.dirty then begin
+        let rec collect run last rest =
+          match rest with
+          | next :: rest'
+            when next.p_offset = last.p_offset + ps
+                 && (not next.busy)
+                 && resident next
+                 && List.length run < window ->
+            Vm_page.harvest_bits kctx next;
+            if next.dirty then collect (next :: run) next rest' else (List.rev run, rest)
+          | _ -> (List.rev run, rest)
+        in
+        let run, rest = collect [ page ] page rest in
+        if not keep then
+          kctx.Kctx.stats.s_flushes <- kctx.Kctx.stats.s_flushes + List.length run;
+        write_run kctx run ~dispose;
+        walk rest
+      end
+      else begin
+        if not keep then begin
           kctx.Kctx.stats.s_flushes <- kctx.Kctx.stats.s_flushes + 1;
           Vm_page.free kctx page
-        end
-      end)
-    targets
+        end;
+        walk rest
+      end
+  in
+  walk targets
 
 let handle_manager_message kctx (msg : Message.t) =
   match Pager_iface.decode_m2k msg with
@@ -386,13 +530,14 @@ let terminate kctx obj =
     | Pager p when p.initialized && not obj.temporary ->
       let pages = Hashtbl.fold (fun _ pg acc -> pg :: acc) obj.obj_pages [] in
       let pages = List.sort (fun a b -> compare a.p_offset b.p_offset) pages in
-      List.iter
-        (fun pg ->
-          if not pg.busy then begin
-            Vm_page.harvest_bits kctx pg;
-            if pg.dirty then page_out kctx pg ~flush:false
-          end)
-        pages
+      let runs =
+        adjacent_runs kctx pages ~eligible:(fun pg ->
+            (not pg.busy)
+            &&
+            (Vm_page.harvest_bits kctx pg;
+             pg.dirty))
+      in
+      List.iter (fun run -> write_run_detached kctx run) runs
     | Pager _ | No_pager -> ());
     Vm_object.destroy_pages kctx obj;
     match obj.pager with

@@ -46,13 +46,22 @@ val bind_to_default_pager : Kctx.t -> obj -> unit
     object, hand it to the default pager with [pager_create], and bind
     it as the object's pager. Requires [default_pager_port] to be set. *)
 
+val write_run : Kctx.t -> page list -> dispose:dispose -> unit
+(** Launder a run of adjacent dirty pages: one [pager_data_write] for
+    the whole run. The pages stay resident on the laundry queue, busy,
+    until the manager releases the data ([Release_write]) — a refault
+    during the clean waits on the busy machinery instead of
+    round-tripping to the pager. On release, [Dispose_keep] pages become
+    clean-resident (freed only while memory pressure persists);
+    [Dispose_free] pages leave the cache. If the manager sits on the
+    data past the release timeout, the run is rescued to the default
+    pager (§6.2.2) and the cleaning pages are freed. [pages] must be
+    non-empty, same-object, offset-sorted, offset-adjacent, non-busy,
+    and the object must already have a pager binding. *)
+
 val page_out : Kctx.t -> page -> flush:bool -> unit
-(** Write a dirty page back to its object's manager with
-    [pager_data_write]. The page leaves its object; its frame is parked
-    in a holding record until the manager releases it ([Release_write])
-    or the release timeout forces a rescue to the default pager
-    (§6.2.2). [flush] only affects statistics labelling. The object must
-    already have a pager binding. *)
+(** Single-page {!write_run}: [flush] selects [Dispose_free] and counts
+    a flush. *)
 
 val send_unlock : Kctx.t -> obj -> offset:int -> length:int -> desired_access:Mach_hw.Prot.t -> unit
 (** [pager_data_unlock]: ask the manager to loosen a page lock. *)

@@ -22,9 +22,13 @@ type kernel_to_manager =
       desired_access : Mach_hw.Prot.t;
     }
   | Data_write of { memory_object : Message.port; offset : int; data : bytes; write_id : int }
-      (** [write_id] identifies the kernel's holding object so the
-          manager's release (its [vm_deallocate] of the transferred
-          region, §6.2.2) can be modelled with {!Release_write}. *)
+      (** [data] may span a run of adjacent pages — the kernel coalesces
+          per-object runs of dirty pages into one write, so managers
+          must split multi-page payloads at page boundaries. [write_id]
+          identifies the kernel's holding object so the manager's
+          release (its [vm_deallocate] of the transferred region,
+          §6.2.2) can be modelled with {!Release_write}; one release
+          covers the whole run. *)
   | Data_unlock of {
       memory_object : Message.port;
       request : Message.port;

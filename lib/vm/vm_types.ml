@@ -23,8 +23,19 @@ let inheritance_to_string = function
   | Inherit_copy -> "copy"
   | Inherit_none -> "none"
 
-(** Which queue a resident page is on (§5.4). *)
-type queue_state = Q_none | Q_active | Q_inactive
+(** Which queue a resident page is on (§5.4). [Q_laundry] is the
+    cleaning state of the dirty-page lifecycle: the page is resident and
+    busy while a [pager_data_write] naming it is outstanding; a refault
+    waits on the busy machinery instead of re-requesting from the pager.
+
+    {v
+      active/inactive --launder--> laundry (busy-cleaning)
+           ^                          |
+           |            release_write |         rescue timeout
+           +--(clean-resident, no  <--+--> freed (continued pressure,
+               pressure: deactivate)        flush, or double-paging)
+    v} *)
+type queue_state = Q_none | Q_active | Q_inactive | Q_laundry
 
 type obj = {
   obj_id : int;
@@ -78,14 +89,26 @@ and page = {
           placeholders are reclaimed rather than waited on. *)
 }
 
-(** A dirty page handed to a data manager by [pager_data_write] parks
-    its frame in a holding record until the manager releases the data —
-    or until the kernel rescues itself by paging the data out to the
-    default pager (§6.2.2 double paging). *)
+(** What to do with a laundered page once the manager releases the
+    data: keep it resident and clean (absorbing refaults), or free it
+    (flush semantics — the page must leave the cache). [`Keep] still
+    frees the frame when memory pressure persists at release time. *)
+type dispose = Dispose_keep | Dispose_free
+
+(** A run of adjacent dirty pages shipped to a data manager by one
+    [pager_data_write]. The pages stay resident and busy-cleaning
+    (laundry queue) until the manager releases the data — or until the
+    kernel rescues itself by paging the run out to the default pager
+    (§6.2.2 double paging). Pages detached before the release arrives
+    (object termination) park their frames in [h_frames] instead. *)
 type holding = {
   h_write_id : int;
-  h_frame : int;
-  h_data : bytes;
+  h_obj : obj;
+  h_offset : int;  (** run start *)
+  h_data : bytes;  (** run contents as shipped, for the §6.2.2 rescue *)
+  mutable h_pages : page list;  (** resident cleaning pages, offset order *)
+  mutable h_frames : int list;  (** parked frames of detached pages *)
+  h_dispose : dispose;
   mutable h_released : bool;
 }
 
@@ -115,6 +138,9 @@ type stats = {
   mutable s_slow_busy : int;  (** slow-path entries: waited on a busy page *)
   mutable s_slow_lock : int;  (** slow-path entries: waited on a manager unlock *)
   mutable s_slow_pager : int;  (** slow-path entries: issued a pager request *)
+  mutable s_data_writes : int;  (** pager_data_write messages (one per run) *)
+  mutable s_laundered : int;  (** pages written back while kept resident *)
+  mutable s_clean_hits : int;  (** refaults absorbed by a cleaning/clean-resident page *)
 }
 
 let fresh_stats () =
@@ -143,6 +169,9 @@ let fresh_stats () =
     s_slow_busy = 0;
     s_slow_lock = 0;
     s_slow_pager = 0;
+    s_data_writes = 0;
+    s_laundered = 0;
+    s_clean_hits = 0;
   }
 
 let stats_to_list s =
@@ -171,4 +200,7 @@ let stats_to_list s =
     ("slow_busy", s.s_slow_busy);
     ("slow_lock", s.s_slow_lock);
     ("slow_pager", s.s_slow_pager);
+    ("data_writes", s.s_data_writes);
+    ("laundered", s.s_laundered);
+    ("clean_hits", s.s_clean_hits);
   ]

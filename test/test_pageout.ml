@@ -3,6 +3,8 @@
    trip through the paging file (§6.2.2, §6.2.3). *)
 
 open Mach
+module Mos = Memory_object_server
+module Page_queues = Mach_vm.Page_queues
 
 let check = Alcotest.check
 let page = 4096
@@ -150,6 +152,113 @@ let test_paging_blocks_recycled () =
         ((Kernel.stats kernel).Vm_types.s_pageouts > 0);
       check Alcotest.int "all paging blocks recycled" free_at_start (Default_pager.blocks_free dp))
 
+(* A manager task whose callbacks we control; returns the server, the
+   request port (filled at pager_init) and a data_request counter. *)
+let make_manager kernel ~name ~on_data_write =
+  let mgr = Task.create kernel ~name () in
+  let req_port = Ivar.create () in
+  let requests = ref 0 in
+  let callbacks =
+    {
+      Mos.no_callbacks with
+      Mos.on_init = (fun _ ~memory_object:_ ~request ~name:_ -> Ivar.fill req_port request);
+      Mos.on_data_request =
+        (fun srv ~memory_object:_ ~request ~offset ~length ~desired_access:_ ->
+          incr requests;
+          Mos.data_provided srv ~request ~offset ~data:(Bytes.make length 'm')
+            ~lock_value:Prot.none);
+      Mos.on_data_write;
+    }
+  in
+  let srv = Mos.start mgr callbacks in
+  (srv, req_port, requests)
+
+let test_refault_during_clean () =
+  (* Refault on a page whose run's data_write is still outstanding: the
+     page stays resident busy-cleaning on the laundry queue, so the
+     faulter waits for the release instead of re-requesting the data
+     from the manager (the old pipeline detached the page and paid a
+     second data_request). *)
+  with_system (fun sys task ->
+      let kernel = sys.Kernel.kernel in
+      let srv, req_port, requests =
+        make_manager kernel ~name:"slow-mgr"
+          ~on_data_write:(fun _ ~memory_object:_ ~offset:_ ~data:_ ~release ->
+            (* Hold the data long enough for refaults to land. *)
+            Engine.sleep 5_000.0;
+            release ())
+      in
+      let memory_object = Mos.create_memory_object srv () in
+      let npages = 8 in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(npages * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      for i = 0 to npages - 1 do
+        ignore (Syscalls.touch task ~addr:(addr + (i * page)) ~write:true ())
+      done;
+      let req = Ivar.read req_port in
+      let requests_before = !requests in
+      let hits_before = (Kernel.stats kernel).Vm_types.s_clean_hits in
+      Mos.clean_request srv ~request:req ~offset:0 ~length:(npages * page);
+      (* Let the kernel launder the run, then refault mid-clean. *)
+      Engine.sleep 500.0;
+      let kctx = kernel.Ktypes.k_kctx in
+      Alcotest.(check bool) "pages busy-cleaning on the laundry queue" true
+        (Page_queues.laundry_count kctx.Kctx.queues > 0);
+      for i = 0 to npages - 1 do
+        match Syscalls.touch task ~addr:(addr + (i * page)) ~write:true () with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "refault %d: %a" i Access.pp_error e
+      done;
+      let stats = Kernel.stats kernel in
+      Alcotest.(check bool) "refaults absorbed by the laundry queue" true
+        (stats.Vm_types.s_clean_hits > hits_before);
+      check Alcotest.int "no second data_request to the manager" requests_before !requests;
+      check Alcotest.int "laundry drained" 0 (Page_queues.laundry_count kctx.Kctx.queues))
+
+let test_rescue_still_double_pages () =
+  (* A manager that never releases its data_writes: the rescue timer
+     must fire, push the in-transit data to the default pager (§6.2.2
+     double paging) and free the frames; a later fault re-requests the
+     data from the manager. *)
+  with_system (fun sys task ->
+      let kernel = sys.Kernel.kernel in
+      let srv, req_port, requests =
+        make_manager kernel ~name:"hoarder-mgr"
+          ~on_data_write:(fun _ ~memory_object:_ ~offset:_ ~data:_ ~release:_ -> ())
+      in
+      let memory_object = Mos.create_memory_object srv () in
+      let npages = 8 in
+      let addr =
+        Syscalls.vm_allocate_with_pager task ~size:(npages * page) ~anywhere:true ~memory_object
+          ~offset:0 ()
+      in
+      for i = 0 to npages - 1 do
+        ignore (Syscalls.touch task ~addr:(addr + (i * page)) ~write:true ())
+      done;
+      let req = Ivar.read req_port in
+      let rescued_before = (Kernel.stats kernel).Vm_types.s_pageout_to_default in
+      Mos.clean_request srv ~request:req ~offset:0 ~length:(npages * page);
+      (* Sleep past the rescue timeout. *)
+      let kctx = kernel.Ktypes.k_kctx in
+      Engine.sleep (kctx.Kctx.data_write_release_timeout_us +. 100_000.0);
+      let stats = Kernel.stats kernel in
+      Alcotest.(check bool) "rescue double-paged the run to the default pager" true
+        (stats.Vm_types.s_pageout_to_default > rescued_before);
+      check Alcotest.int "laundry drained by the rescue" 0
+        (Page_queues.laundry_count kctx.Kctx.queues);
+      (* The pages are gone; faulting again must re-request from the
+         manager and still complete. *)
+      let requests_before = !requests in
+      for i = 0 to npages - 1 do
+        match Syscalls.touch task ~addr:(addr + (i * page)) ~write:false () with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "post-rescue fault %d: %a" i Access.pp_error e
+      done;
+      Alcotest.(check bool) "post-rescue faults re-request from the manager" true
+        (!requests > requests_before))
+
 let () =
   Alcotest.run "pageout"
     [
@@ -163,5 +272,11 @@ let () =
           Alcotest.test_case "default pager stats" `Quick test_default_pager_stats;
           Alcotest.test_case "paging blocks recycled across object lifetimes" `Quick
             test_paging_blocks_recycled;
+        ] );
+      ( "writeback",
+        [
+          Alcotest.test_case "refault during clean is absorbed" `Quick test_refault_during_clean;
+          Alcotest.test_case "unreleased data_write still double-pages" `Quick
+            test_rescue_still_double_pages;
         ] );
     ]

@@ -140,7 +140,7 @@ let test_chain_has_pager_translation () =
 let page_queue_prop =
   let open QCheck2 in
   Test.make ~name:"page queues consistent under random transitions" ~count:150
-    Gen.(list_size (int_range 1 40) (pair (int_range 0 7) (int_range 0 2)))
+    Gen.(list_size (int_range 1 40) (pair (int_range 0 7) (int_range 0 3)))
     (fun ops ->
       let kctx = make_kctx ~frames:16 () in
       let q = Page_queues.create () in
@@ -152,16 +152,19 @@ let page_queue_prop =
       in
       let ok = ref true in
       let verify () =
-        let active = ref 0 and inactive = ref 0 in
+        let active = ref 0 and inactive = ref 0 and laundry = ref 0 in
         Array.iter
           (fun (p : Vm_types.page) ->
             match p.Vm_types.q_state with
             | Vm_types.Q_active -> incr active
             | Vm_types.Q_inactive -> incr inactive
+            | Vm_types.Q_laundry -> incr laundry
             | Vm_types.Q_none -> ())
           pages;
         if !active <> Page_queues.active_count q then ok := false;
-        if !inactive <> Page_queues.inactive_count q then ok := false
+        if !inactive <> Page_queues.inactive_count q then ok := false;
+        if !laundry <> Page_queues.laundry_count q then ok := false;
+        match Page_queues.check_invariants q with Ok () -> () | Error _ -> ok := false
       in
       List.iter
         (fun (idx, op) ->
@@ -169,6 +172,7 @@ let page_queue_prop =
           (match op with
           | 0 -> Page_queues.activate q p
           | 1 -> Page_queues.deactivate q p
+          | 2 -> Page_queues.launder q p
           | _ -> Page_queues.remove q p);
           verify ())
         ops;
