@@ -43,10 +43,30 @@ let us v = Printf.sprintf "%.1f" v
 let us0 v = Printf.sprintf "%.0f" v
 let ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.2fx" (a /. b)
 
+(* Cumulative IPC counters of a host's kernel node. Every task on a
+   host shares the kernel's node, so this aggregates all send/receive
+   activity of that host since boot. *)
+let ipc_counters kernel =
+  Transport.ipc_stats_to_list (Kernel.kctx kernel).Kctx.node.Transport.node_stats
+
+(* Pointwise sum of several counter lists (e.g. the hosts of a
+   cluster). All lists carry the same keys in the same order. *)
+let sum_counters = function
+  | [] -> []
+  | first :: _ as lists ->
+    List.map
+      (fun (key, _) ->
+        (key, List.fold_left (fun acc l -> acc + List.assoc key l) 0 lists))
+      first
+
 type experiment = {
   id : string;  (** e.g. "E4" *)
   title : string;
   paper_claim : string;
   run : unit -> Table.t list;
   quick : unit -> unit;  (** scaled-down body for bechamel *)
+  json : (unit -> (string * float) list) option;
+      (** machine-readable metrics for [--json] (self-contained run,
+          modest parameters); [None] for experiments without a stable
+          numeric summary *)
 }

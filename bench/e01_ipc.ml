@@ -1,10 +1,14 @@
-(* E1 — Table 3-1/3-2: primitive message and port operation costs. *)
+(* E1 — Table 3-1/3-2: primitive message and port operation costs, the
+   msg_rpc round trip as a function of inline payload size, and the
+   kernel's IPC counters for the whole run (zero-copy bookkeeping). *)
 
 open Mach
 open Common
 
 let null_msg ~dest ?reply () =
   Message.make ?reply ~dest [ Message.Data (Bytes.create 32) ]
+
+let rpc_sizes = [ 32; 256; 1024; 4096 ]
 
 let run_body ~rounds =
   run_system (fun sys task ->
@@ -67,19 +71,70 @@ let run_body ~rounds =
             done)
       in
       let per x = x /. float_of_int rounds in
-      [
-        ("msg_send (32-byte message, one way)", per send_us);
-        ("msg_receive", per recv_us);
-        ("msg_rpc (round trip)", per rpc_us);
-        ("port_allocate + port_deallocate", per port_us);
-        ("port_status", per status_us);
-      ])
+      (* Round trip as a function of inline payload: the small sizes
+         ride the blocked-receiver fast path, the large ones take the
+         queue path and pay the per-byte copy. *)
+      let rpc_by_size =
+        List.map
+          (fun size ->
+            let msg () =
+              Message.make ~dest:svc_port ~reply:reply_port
+                [ Message.Data (Bytes.create size) ]
+            in
+            let (), t =
+              timed engine (fun () ->
+                  for _ = 1 to rounds do
+                    ignore (Syscalls.msg_rpc task (msg ()) ())
+                  done)
+            in
+            (size, per t))
+          rpc_sizes
+      in
+      let ops =
+        [
+          ("msg_send (32-byte message, one way)", per send_us);
+          ("msg_receive", per recv_us);
+          ("msg_rpc (round trip)", per rpc_us);
+          ("port_allocate + port_deallocate", per port_us);
+          ("port_status", per status_us);
+        ]
+      in
+      (ops, rpc_by_size, ipc_counters sys.Kernel.kernel))
 
 let run () =
-  let rows = run_body ~rounds:200 in
-  let t = Table.create ~title:"E1: IPC primitive operations (Table 3-1/3-2)" ~columns:[ "operation"; "simulated us" ] in
-  List.iter (fun (op, v) -> Table.row t [ op; us v ]) rows;
-  [ t ]
+  let ops, rpc_by_size, counters = run_body ~rounds:200 in
+  let t =
+    Table.create ~title:"E1: IPC primitive operations (Table 3-1/3-2)"
+      ~columns:[ "operation"; "simulated us" ]
+  in
+  List.iter (fun (op, v) -> Table.row t [ op; us v ]) ops;
+  let t2 =
+    Table.create ~title:"E1: msg_rpc round trip by inline payload size"
+      ~columns:[ "payload"; "round trip us" ]
+  in
+  List.iter
+    (fun (size, v) -> Table.row t2 [ Printf.sprintf "%d B" size; us v ])
+    rpc_by_size;
+  let t3 =
+    Table.create ~title:"E1: kernel IPC counters (whole run)"
+      ~columns:[ "counter"; "value" ]
+  in
+  List.iter (fun (k, v) -> Table.row t3 [ k; string_of_int v ]) counters;
+  [ t; t2; t3 ]
+
+let json () =
+  let ops, rpc_by_size, counters = run_body ~rounds:50 in
+  let op_key = function
+    | "msg_send (32-byte message, one way)" -> "msg_send_us"
+    | "msg_receive" -> "msg_receive_us"
+    | "msg_rpc (round trip)" -> "msg_rpc_us"
+    | "port_allocate + port_deallocate" -> "port_alloc_dealloc_us"
+    | "port_status" -> "port_status_us"
+    | s -> s
+  in
+  List.map (fun (op, v) -> (op_key op, v)) ops
+  @ List.map (fun (size, v) -> (Printf.sprintf "rpc_us_%d" size, v)) rpc_by_size
+  @ List.map (fun (k, v) -> ("counter_" ^ k, float_of_int v)) counters
 
 let experiment =
   {
@@ -90,4 +145,5 @@ let experiment =
        message exchange costs on the order of 100 us on 1987 hardware.";
     run;
     quick = (fun () -> ignore (run_body ~rounds:10));
+    json = Some json;
   }

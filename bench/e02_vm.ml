@@ -70,4 +70,5 @@ let experiment =
        not page copies.";
     run;
     quick = (fun () -> ignore (run_body ~rounds:5));
+    json = None;
   }

@@ -204,4 +204,5 @@ let experiment =
        of physical memory as a file cache instead of a fixed 10% buffer cache.";
     run;
     quick = (fun () -> ignore (run_body ~sources:6 ~builds:2 ~wb_frames:64 ~image_pages:128));
+    json = None;
   }

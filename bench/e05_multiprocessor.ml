@@ -98,4 +98,5 @@ let experiment =
        communicate in hundreds of microseconds.";
     run;
     quick = (fun () -> ignore (run_body ()));
+    json = None;
   }

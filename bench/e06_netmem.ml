@@ -118,4 +118,5 @@ let experiment =
        algorithms exhibit read/write locality (s4.2, after Li).";
     run;
     quick = (fun () -> ignore (run_body ~pages:8 ~ops_per_client:40 ~ratios:[ 0.0; 0.3 ]));
+    json = None;
   }

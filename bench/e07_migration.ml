@@ -98,4 +98,5 @@ let experiment =
        helps tasks with predictable access patterns (Section 8.2, after Zayas).";
     run;
     quick = (fun () -> ignore (run_body ~pages:16 ~fractions:[ 0.5 ]));
+    json = None;
   }

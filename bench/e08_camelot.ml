@@ -186,4 +186,5 @@ let experiment =
        management, and recoverable data is written directly to its permanent home (Section 8.3).";
     run;
     quick = (fun () -> ignore (run_body ~txns:5 ~updates_per_txn:5));
+    json = None;
   }

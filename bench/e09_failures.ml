@@ -170,4 +170,5 @@ let experiment =
        kernel from starvation by errant managers (Section 6).";
     run;
     quick = (fun () -> ignore (run_body ~quick:true));
+    json = None;
   }

@@ -164,4 +164,5 @@ let experiment =
        faults add a message round trip to the data manager (Section 5.5).";
     run;
     quick = (fun () -> ignore (run_body ~rounds:5));
+    json = None;
   }

@@ -87,4 +87,5 @@ let experiment =
        the child writes them (Section 3.3).";
     run;
     quick = (fun () -> ignore (run_body ~pages:16 ~fractions:[ 0.5 ]));
+    json = None;
   }

@@ -153,4 +153,5 @@ let experiment =
        pool keeps the pageout path alive under pressure (Section 6.2.3).";
     run;
     quick = (fun () -> ignore (run_body ~quick:true));
+    json = None;
   }

@@ -40,7 +40,7 @@ let uma_messages ~items ~item_size =
             done;
             Ivar.read done_)
       in
-      elapsed /. float_of_int items)
+      (elapsed /. float_of_int items, ipc_counters sys.Kernel.kernel))
 
 let uma_shared ~items ~item_size =
   let config = { Kernel.default_config with Kernel.params = Machine.multimax } in
@@ -112,7 +112,10 @@ let norma_messages ~items ~item_size =
              in
              out := Some (elapsed /. float_of_int items))));
   Engine.run cluster.Kernel.c_engine;
-  Option.get !out
+  let counters =
+    sum_counters (Array.to_list (Array.map ipc_counters cluster.Kernel.c_kernels))
+  in
+  (Option.get !out, counters)
 
 let norma_shared ~items ~item_size =
   let cluster = Kernel.create_cluster ~hosts:2 ~config:norma_config () in
@@ -163,11 +166,9 @@ let sizes = [ 64; 1024; 4096; 16384 ]
 let run_body ~items ~sizes =
   List.map
     (fun s ->
-      ( s,
-        uma_messages ~items ~item_size:s,
-        uma_shared ~items ~item_size:s,
-        norma_messages ~items ~item_size:s,
-        norma_shared ~items ~item_size:s ))
+      let um, uc = uma_messages ~items ~item_size:s in
+      let nm, nc = norma_messages ~items ~item_size:s in
+      (s, um, uma_shared ~items ~item_size:s, nm, norma_shared ~items ~item_size:s, uc, nc))
     sizes
 
 let run () =
@@ -182,7 +183,7 @@ let run () =
           "NORMA shared mem us" ]
   in
   List.iter
-    (fun (s, um, us_, nm, ns) ->
+    (fun (s, um, us_, nm, ns, _, _) ->
       Table.row t
         [
           (if s >= 1024 then Printf.sprintf "%d KB" (s / 1024) else Printf.sprintf "%d B" s);
@@ -192,7 +193,39 @@ let run () =
           us0 ns;
         ])
     rows;
-  [ t ]
+  (* IPC counters of the message-based runs at the largest item size:
+     on the UMA the small items ride the RPC fast path; on the NORMA
+     the same workload shows the wire-delivery bookkeeping. *)
+  let t2 =
+    match List.rev rows with
+    | (s, _, _, _, _, uc, nc) :: _ ->
+      let t2 =
+        Table.create
+          ~title:
+            (Printf.sprintf "E13: IPC counters for the message runs (%d KB items)" (s / 1024))
+          ~columns:[ "counter"; "UMA (1 host)"; "NORMA (2 hosts)" ]
+      in
+      List.iter
+        (fun (k, v) -> Table.row t2 [ k; string_of_int v; string_of_int (List.assoc k nc) ])
+        uc;
+      [ t2 ]
+    | [] -> []
+  in
+  t :: t2
+
+let json () =
+  let rows = run_body ~items:20 ~sizes:[ 1024; 4096 ] in
+  List.concat_map
+    (fun (s, um, us_, nm, ns, uc, nc) ->
+      [
+        (Printf.sprintf "uma_messages_us_%d" s, um);
+        (Printf.sprintf "uma_shared_us_%d" s, us_);
+        (Printf.sprintf "norma_messages_us_%d" s, nm);
+        (Printf.sprintf "norma_shared_us_%d" s, ns);
+        (Printf.sprintf "uma_rpc_fastpath_%d" s, float_of_int (List.assoc "rpc_fastpath" uc));
+        (Printf.sprintf "norma_msgs_sent_%d" s, float_of_int (List.assoc "msgs_sent" nc));
+      ])
+    rows
 
 let experiment =
   {
@@ -205,4 +238,5 @@ let experiment =
        ownership round trips per exchange (Section 7).";
     run;
     quick = (fun () -> ignore (run_body ~items:5 ~sizes:[ 1024 ]));
+    json = Some json;
   }

@@ -7,7 +7,11 @@
      main.exe                 run all experiments + microbenches
      main.exe --only E4,E7    run selected experiments
      main.exe --list          list experiments
-     main.exe --no-bechamel   skip the wall-clock microbenches *)
+     main.exe --no-bechamel   skip the wall-clock microbenches
+     main.exe --json out.json write machine-readable per-experiment
+                              numbers (E1 round-trip by size, E3
+                              copy-vs-map crossover, E13 duality
+                              summary) instead of tables *)
 
 module Table = Mach_util.Table
 
@@ -74,7 +78,42 @@ let run_smoke selected =
       Printf.printf "ok (%.2fs)\n%!" (Unix.gettimeofday () -. t0))
     selected
 
-let main only list_only no_bechamel smoke =
+(* Machine-readable results: one flat {metric: number} object per
+   experiment that defines a [json] producer. Hand-rolled writer — the
+   values are plain floats and the format never nests deeper than two
+   levels, so no JSON library is needed. *)
+let run_json path selected =
+  let with_json =
+    List.filter_map
+      (fun (e : Common.experiment) ->
+        match e.Common.json with
+        | Some f ->
+          Printf.printf "json %-4s %-28s ... %!" e.Common.id e.Common.title;
+          let t0 = Unix.gettimeofday () in
+          let kvs = f () in
+          Printf.printf "ok (%.2fs)\n%!" (Unix.gettimeofday () -. t0);
+          Some (e.Common.id, kvs)
+        | None -> None)
+      selected
+  in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (id, kvs) ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc "  %S: {" id;
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then output_string oc ",";
+          Printf.fprintf oc "\n    %S: %.3f" k v)
+        kvs;
+      output_string oc "\n  }")
+    with_json;
+  output_string oc "\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d experiments)\n" path (List.length with_json)
+
+let main only list_only no_bechamel smoke json_file =
   if list_only then begin
     List.iter
       (fun (e : Common.experiment) -> Printf.printf "%-4s %s\n" e.Common.id e.Common.title)
@@ -95,6 +134,10 @@ let main only list_only no_bechamel smoke =
     end
     else if smoke then begin
       run_smoke selected;
+      0
+    end
+    else if json_file <> "" then begin
+      run_json json_file selected;
       0
     end
     else begin
@@ -124,8 +167,16 @@ let smoke =
   let doc = "Run each experiment once with tiny parameters (sanity pass, no tables)." in
   Arg.(value & flag & info [ "smoke" ] ~doc)
 
+let json_file =
+  let doc =
+    "Write machine-readable per-experiment numbers to $(docv) (JSON, one object per \
+     experiment) instead of printing tables."
+  in
+  Arg.(value & opt string "" & info [ "json" ] ~doc ~docv:"FILE")
+
 let cmd =
   let doc = "Reproduce the evaluation of the Mach memory/communication duality paper" in
-  Cmd.v (Cmd.info "mach-bench" ~doc) Term.(const main $ only $ list_only $ no_bechamel $ smoke)
+  Cmd.v (Cmd.info "mach-bench" ~doc)
+    Term.(const main $ only $ list_only $ no_bechamel $ smoke $ json_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,27 @@
-type t = { engine : Mach_sim.Engine.t; net : Mach_hw.Net.t; mutable next_id : int }
+module Engine = Mach_sim.Engine
+module Mailbox = Mach_sim.Mailbox
 
-let create engine net = { engine; net; next_id = 1 }
+(* Remote deliveries for one destination host drain through a single
+   daemon thread; a burst of sends queues work instead of forking a
+   thread per message. The mailbox bounds in-flight work; past that,
+   thunks spill to [overflow] (plain FIFO, no extra threads). Once
+   anything has spilled, new work keeps spilling until the daemon has
+   drained the overflow, preserving arrival order. *)
+type delivery = {
+  dq : (unit -> unit) Mailbox.t;
+  overflow : (unit -> unit) Queue.t;
+}
+
+type t = {
+  engine : Mach_sim.Engine.t;
+  net : Mach_hw.Net.t;
+  mutable next_id : int;
+  deliveries : (int, delivery) Hashtbl.t;
+}
+
+let delivery_queue_bound = 256
+
+let create engine net = { engine; net; next_id = 1; deliveries = Hashtbl.create 8 }
 let engine t = t.engine
 let net t = t.net
 
@@ -8,3 +29,40 @@ let fresh_id t =
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   id
+
+let spawn_daemon t ~dst d =
+  Engine.spawn t.engine ~name:(Printf.sprintf "net-delivery-h%d" dst) (fun () ->
+      let rec loop () =
+        match Mailbox.try_recv d.dq with
+        | Some thunk ->
+          thunk ();
+          loop ()
+        | None ->
+          if not (Queue.is_empty d.overflow) then begin
+            let thunk = Queue.pop d.overflow in
+            thunk ();
+            loop ()
+          end
+          else
+            (* Idle: exit so the engine can quiesce; the next delivery
+               respawns us. No blocking point separates the emptiness
+               check from the removal, so no thunk can slip in between. *)
+            Hashtbl.remove t.deliveries dst
+      in
+      loop ())
+
+let deliver_to t ~dst thunk =
+  match Hashtbl.find_opt t.deliveries dst with
+  | Some d ->
+    if Queue.is_empty d.overflow && Mailbox.send_timeout d.dq thunk ~timeout:0.0 then ()
+    else Queue.push thunk d.overflow
+  | None ->
+    let d = { dq = Mailbox.create ~capacity:delivery_queue_bound (); overflow = Queue.create () } in
+    Hashtbl.replace t.deliveries dst d;
+    ignore (Mailbox.send_timeout d.dq thunk ~timeout:0.0);
+    spawn_daemon t ~dst d
+
+let delivery_backlog t ~dst =
+  match Hashtbl.find_opt t.deliveries dst with
+  | None -> 0
+  | Some d -> Mailbox.length d.dq + Queue.length d.overflow

@@ -1,7 +1,8 @@
 (** Shared state of one simulated IPC universe: the event engine, the
-    inter-host network, and the id allocator. Every port and port space
-    belongs to exactly one context, so runs are deterministic and two
-    simulations never interfere. *)
+    inter-host network, the id allocator, and the per-destination
+    remote-delivery daemons. Every port and port space belongs to
+    exactly one context, so runs are deterministic and two simulations
+    never interfere. *)
 
 type t
 
@@ -9,3 +10,12 @@ val create : Mach_sim.Engine.t -> Mach_hw.Net.t -> t
 val engine : t -> Mach_sim.Engine.t
 val net : t -> Mach_hw.Net.t
 val fresh_id : t -> int
+
+val deliver_to : t -> dst:int -> (unit -> unit) -> unit
+(** Hand a delivery thunk to host [dst]'s delivery daemon (spawned
+    lazily, exits when idle). Thunks run in arrival order and may block
+    (e.g. on a full port queue); this call never blocks, so it is safe
+    from network-completion callbacks. *)
+
+val delivery_backlog : t -> dst:int -> int
+(** Thunks queued for [dst]'s daemon (0 when no daemon is running). *)

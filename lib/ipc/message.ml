@@ -1,12 +1,31 @@
+(* The payload of a kernel copy object is owned by whichever layer made
+   the snapshot (the VM layer's vm_map_copyin, or the network transport
+   exporting a memory object); extensibility keeps this module free of a
+   dependency on the VM structures. *)
+type copy_payload = ..
+
 type t = { header : header; body : item list }
 and header = { dest : port; reply : port option; msg_id : int }
-and item = Data of bytes | Caps of cap list | Ool of ool | Ool_region of ool_region
+
+and item =
+  | Data of bytes
+  | Caps of cap list
+  | Ool of ool
+  | Ool_region of ool_region
+  | Ool_copy of copy_object
+
 and ool_region = { src_task : int; src_addr : int; region_size : int }
+and copy_object = { cp_size : int; cp_payload : copy_payload }
 and cap = { cap_port : port; cap_right : right }
 and right = Send_right | Receive_right
 and ool = { ool_data : bytes; transfer : transfer_mode }
 and transfer_mode = Copy_transfer | Map_transfer
 and port = t Port.t
+
+type copy_payload += Net_copy of { nc_object : port }
+
+(* Wire size of a copy-object handle: a port name and a length. *)
+let copy_handle_bytes = 16
 
 let make ?reply ?(msg_id = 0) ~dest body = { header = { dest; reply; msg_id }; body }
 
@@ -16,7 +35,7 @@ let inline_bytes t =
       match item with
       | Data b -> acc + Bytes.length b
       | Ool { ool_data; transfer = Copy_transfer } -> acc + Bytes.length ool_data
-      | Ool { transfer = Map_transfer; _ } | Caps _ | Ool_region _ -> acc)
+      | Ool { transfer = Map_transfer; _ } | Caps _ | Ool_region _ | Ool_copy _ -> acc)
     0 t.body
 
 let mapped_bytes t =
@@ -25,7 +44,28 @@ let mapped_bytes t =
       match item with
       | Ool { ool_data; transfer = Map_transfer } -> acc + Bytes.length ool_data
       | Ool_region r -> acc + r.region_size
+      | Ool_copy c -> acc + c.cp_size
       | Ool { transfer = Copy_transfer; _ } | Data _ | Caps _ -> acc)
+    0 t.body
+
+let carried_mapped_bytes t =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Ool { ool_data; transfer = Map_transfer } -> acc + Bytes.length ool_data
+      | Ool_region r -> acc + r.region_size
+      | Ool_copy _ | Ool { transfer = Copy_transfer; _ } | Data _ | Caps _ -> acc)
+    0 t.body
+
+let wire_bytes t =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Data b -> acc + Bytes.length b
+      | Ool { ool_data; _ } -> acc + Bytes.length ool_data
+      | Ool_region _ -> acc + copy_handle_bytes
+      | Ool_copy _ -> acc + copy_handle_bytes
+      | Caps _ -> acc)
     0 t.body
 
 let total_bytes t = inline_bytes t + mapped_bytes t
@@ -39,13 +79,24 @@ let data_exn t =
   find t.body
 
 let caps t =
-  List.concat_map (function Caps cs -> cs | Data _ | Ool _ | Ool_region _ -> []) t.body
+  List.concat_map
+    (function Caps cs -> cs | Data _ | Ool _ | Ool_region _ | Ool_copy _ -> [])
+    t.body
 
 let ool_payloads t =
-  List.filter_map (function Ool o -> Some o.ool_data | Data _ | Caps _ | Ool_region _ -> None) t.body
+  List.filter_map
+    (function Ool o -> Some o.ool_data | Data _ | Caps _ | Ool_region _ | Ool_copy _ -> None)
+    t.body
 
 let ool_regions t =
-  List.filter_map (function Ool_region r -> Some r | Data _ | Caps _ | Ool _ -> None) t.body
+  List.filter_map
+    (function Ool_region r -> Some r | Data _ | Caps _ | Ool _ | Ool_copy _ -> None)
+    t.body
+
+let ool_copies t =
+  List.filter_map
+    (function Ool_copy c -> Some c | Data _ | Caps _ | Ool _ | Ool_region _ -> None)
+    t.body
 
 let pp fmt t =
   Format.fprintf fmt "msg{id=%d dest=%a inline=%dB mapped=%dB caps=%d}" t.header.msg_id Port.pp

@@ -2,6 +2,12 @@
     typed data objects", which may include port capabilities and
     out-of-line memory (§3.2). *)
 
+type copy_payload = ..
+(** Contents of a kernel copy object. The VM layer extends this with its
+    copy-map representation ([Vm_map.Vm_copy_handle]); the network path
+    extends it here with {!Net_copy}. Extensibility keeps this module
+    free of a dependency on the VM structures. *)
+
 type t = { header : header; body : item list }
 
 and header = {
@@ -15,12 +21,22 @@ and item =
   | Caps of cap list  (** port capabilities *)
   | Ool of ool  (** out-of-line memory region (payload carried) *)
   | Ool_region of ool_region
-      (** out-of-line *address-space region*: transferred by mapping
-          (copy-on-write) when the receiver asks the kernel to map it —
-          the pure duality path. The ints identify the source task and
-          range; the kernel resolves them at receive time. *)
+      (** out-of-line *address-space region* as named by the sender: the
+          kernel resolves it into an {!Ool_copy} at send time
+          ([vm_map_copyin]); unresolved regions are mapped eagerly at
+          receive time (legacy path). *)
+  | Ool_copy of copy_object
+      (** a kernel-held copy object: the snapshot of a sender region
+          taken at send time. The message carries only this handle — no
+          bytes; the receiver maps it copy-on-write and pages materialize
+          lazily through the fault path ([vm_map_copyout]). *)
 
 and ool_region = { src_task : int; src_addr : int; region_size : int }
+
+and copy_object = {
+  cp_size : int;  (** bytes covered by the snapshot *)
+  cp_payload : copy_payload;
+}
 
 and cap = { cap_port : port; cap_right : right }
 and right = Send_right | Receive_right
@@ -39,6 +55,14 @@ and transfer_mode =
 
 and port = t Port.t
 
+type copy_payload += Net_copy of { nc_object : port }
+      (** A copy object whose pages live on another host: [nc_object] is
+          a memory-object port served netmem-style by the sending host;
+          the receiver's kernel pages it on demand. *)
+
+val copy_handle_bytes : int
+(** Wire size of a copy-object handle (a port name plus a length). *)
+
 val make : ?reply:port -> ?msg_id:int -> dest:port -> item list -> t
 
 val inline_bytes : t -> int
@@ -46,7 +70,19 @@ val inline_bytes : t -> int
     (inline data plus [Copy_transfer] out-of-line regions). *)
 
 val mapped_bytes : t -> int
-(** Bytes moved by mapping ([Map_transfer] regions). *)
+(** Bytes moved by mapping ([Map_transfer] regions, unresolved
+    [Ool_region]s, and copy objects). *)
+
+val carried_mapped_bytes : t -> int
+(** Mapped bytes whose payload still travels with the message (legacy
+    [Map_transfer] [Ool] items and unresolved [Ool_region]s) — the
+    portion {!Transport.send_cost_us} must still charge map ops for.
+    [Ool_copy] items are excluded: copyin/copyout charge their own. *)
+
+val wire_bytes : t -> int
+(** Bytes that cross the network for a remote send: inline data, carried
+    out-of-line payloads, and a fixed {!copy_handle_bytes} per copy
+    handle (the zero-copy win: the snapshot's pages do not travel). *)
 
 val total_bytes : t -> int
 
@@ -58,5 +94,6 @@ val caps : t -> cap list
 
 val ool_payloads : t -> bytes list
 val ool_regions : t -> ool_region list
+val ool_copies : t -> copy_object list
 
 val pp : Format.formatter -> t -> unit

@@ -12,6 +12,7 @@ type entry = {
   mutable receive : bool;
   mutable is_enabled : bool;
   mutable dead : bool;
+  mutable in_ready : bool;  (** name is on the ready FIFO *)
   mutable death_hook : int option;
   mutable arrival_hook : int option;
 }
@@ -23,6 +24,12 @@ type t = {
   by_port : (int, name) Hashtbl.t; (* port id -> name *)
   mutable next_name : name;
   activity : Waitq.t;
+  ready : name Queue.t;
+      (* enabled ports with (possibly) queued messages, in arrival
+         order: receive-any pops the head instead of scanning every
+         enabled port. Entries can go stale (message consumed by a
+         direct receive, port disabled or dead); [pop_ready] validates
+         and discards lazily. *)
   notifications : notification Mailbox.t;
 }
 
@@ -34,6 +41,7 @@ let create ctx ~home =
     by_port = Hashtbl.create 64;
     next_name = 1;
     activity = Waitq.create ();
+    ready = Queue.create ();
     notifications = Mailbox.create ();
   }
 
@@ -60,8 +68,8 @@ let watch_death t name entry =
 let register t port ~send ~receive =
   let name = fresh_name t in
   let entry =
-    { port; send; receive; is_enabled = false; dead = not (Port.alive port); death_hook = None;
-      arrival_hook = None }
+    { port; send; receive; is_enabled = false; dead = not (Port.alive port); in_ready = false;
+      death_hook = None; arrival_hook = None }
   in
   Hashtbl.replace t.names name entry;
   Hashtbl.replace t.by_port (Port.id port) name;
@@ -127,6 +135,12 @@ let name_of t port = Hashtbl.find_opt t.by_port (Port.id port)
 let has_receive t name = match find t name with Some e -> e.receive && not e.dead | None -> false
 let has_send t name = match find t name with Some e -> e.send && not e.dead | None -> false
 
+let mark_ready t name entry =
+  if not entry.in_ready then begin
+    entry.in_ready <- true;
+    Queue.push name t.ready
+  end
+
 let enable t name =
   match find t name with
   | None -> invalid_arg "Port_space.enable: unknown name"
@@ -134,8 +148,21 @@ let enable t name =
     if not entry.receive then invalid_arg "Port_space.enable: no receive right";
     if not entry.is_enabled && not entry.dead then begin
       entry.is_enabled <- true;
-      let hook = Port.on_arrival entry.port (fun () -> Waitq.broadcast t.activity) in
-      entry.arrival_hook <- Some hook
+      (* Each arrival pushes the port onto the ready FIFO (once) and
+         wakes exactly one receive-any waiter: the message can be
+         consumed by one receiver only, so waking all of them just makes
+         the rest spin (the old thundering herd). *)
+      let hook =
+        Port.on_arrival entry.port (fun () ->
+            mark_ready t name entry;
+            Waitq.signal t.activity)
+      in
+      entry.arrival_hook <- Some hook;
+      (* Messages may have queued before the port joined the group. *)
+      if Port.queued entry.port > 0 then begin
+        mark_ready t name entry;
+        Waitq.signal t.activity
+      end
     end
 
 let disable t name =
@@ -148,6 +175,27 @@ let disable t name =
       Port.cancel_on_arrival entry.port h;
       entry.arrival_hook <- None
     | None -> ())
+
+let pop_ready t =
+  let rec go () =
+    match Queue.take_opt t.ready with
+    | None -> None
+    | Some name -> (
+      match find t name with
+      | None -> go () (* deallocated since queued; its flag died with it *)
+      | Some entry ->
+        entry.in_ready <- false;
+        if entry.is_enabled && not entry.dead && Port.queued entry.port > 0 then
+          Some (name, entry.port)
+        else go () (* stale: consumed elsewhere, disabled, or dead *))
+  in
+  go ()
+
+let requeue_ready t name =
+  match find t name with
+  | Some entry when entry.is_enabled && not entry.dead && Port.queued entry.port > 0 ->
+    mark_ready t name entry
+  | Some _ | None -> ()
 
 let enabled t =
   Hashtbl.fold (fun name e acc -> if e.is_enabled && not e.dead then name :: acc else acc) t.names []

@@ -82,7 +82,19 @@ val pending_notifications : t -> int
 (** {2 Receive-any support (transport use)} *)
 
 val activity : t -> Mach_sim.Waitq.t
-(** Signalled whenever a message arrives on an enabled port. *)
+(** Signalled (one waiter, not broadcast) whenever a message arrives on
+    an enabled port. *)
+
+val pop_ready : t -> (name * Message.port) option
+(** Pop the oldest enabled port with queued messages off the ready FIFO
+    maintained by the arrival hooks — O(1) amortized, no scan of the
+    enabled set. Stale entries (message already consumed, port disabled
+    or dead) are validated and discarded here. [None] means no enabled
+    port has messages. *)
+
+val requeue_ready : t -> name -> unit
+(** Put [name] back on the ready FIFO if it still has queued messages
+    (call after consuming one message of several). *)
 
 val enabled_ports : t -> (name * Message.port) list
 

@@ -4,55 +4,123 @@ module Waitq = Mach_sim.Waitq
 module Machine = Mach_hw.Machine
 module Net = Mach_hw.Net
 
-type node = { node_host : int; node_params : Machine.params; node_page_size : int }
+type ipc_stats = {
+  mutable s_msgs_sent : int;
+  mutable s_bytes_copied : int;
+  mutable s_bytes_mapped : int;
+  mutable s_copyins : int;
+  mutable s_lazy_copyout_faults : int;
+  mutable s_rpc_fastpath : int;
+  mutable s_spurious_wakeups : int;
+}
+
+let fresh_ipc_stats () =
+  {
+    s_msgs_sent = 0;
+    s_bytes_copied = 0;
+    s_bytes_mapped = 0;
+    s_copyins = 0;
+    s_lazy_copyout_faults = 0;
+    s_rpc_fastpath = 0;
+    s_spurious_wakeups = 0;
+  }
+
+let ipc_stats_to_list s =
+  [
+    ("msgs_sent", s.s_msgs_sent);
+    ("bytes_copied", s.s_bytes_copied);
+    ("bytes_mapped", s.s_bytes_mapped);
+    ("copyins", s.s_copyins);
+    ("lazy_copyout_faults", s.s_lazy_copyout_faults);
+    ("rpc_fastpath", s.s_rpc_fastpath);
+    ("spurious_wakeups", s.s_spurious_wakeups);
+  ]
+
+type node = {
+  node_host : int;
+  node_params : Machine.params;
+  node_page_size : int;
+  node_stats : ipc_stats;
+}
+
 type send_error = Send_invalid_port | Send_timed_out
 type recv_error = Recv_timed_out | Recv_invalid_port
 
 let pages_of node bytes = (bytes + node.node_page_size - 1) / node.node_page_size
 
+(* Small inline messages can hand off directly to a blocked receiver;
+   past this size the normal queue path wins nothing by special-casing. *)
+let fastpath_inline_bytes = 256
+
 let send_cost_us node msg =
   let p = node.node_params in
   let copy_us_per_byte = p.Machine.page_copy_us /. float_of_int node.node_page_size in
   let inline = Message.inline_bytes msg in
-  let mapped_pages = pages_of node (Message.mapped_bytes msg) in
+  (* Only regions whose payload still travels with the message are
+     mapped here; [Ool_copy] handles were charged at copyin and pay
+     their map ops lazily at copyout/fault time. *)
+  let carried_pages = pages_of node (Message.carried_mapped_bytes msg) in
   p.Machine.msg_overhead_us
   +. (float_of_int inline *. copy_us_per_byte)
-  +. (float_of_int mapped_pages *. p.Machine.map_op_us)
+  +. (float_of_int carried_pages *. p.Machine.map_op_us)
 
-let enqueue_local ?timeout port msg =
-  match
-    match timeout with
-    | None ->
-      Mailbox.send (Port.queue port) msg;
-      true
-    | Some t -> Mailbox.send_timeout (Port.queue port) msg ~timeout:t
-  with
-  | true ->
-    Port.notify_arrival port;
-    Ok ()
-  | false -> Error Send_timed_out
-  | exception Mailbox.Closed -> Error Send_invalid_port
+let is_fastpath_candidate msg =
+  Message.mapped_bytes msg = 0
+  && Message.inline_bytes msg <= fastpath_inline_bytes
+
+let enqueue_local stats ?timeout port msg =
+  let q = Port.queue port in
+  (* RPC fast path: a receiver is already blocked on this port and the
+     message is small and fully inline — hand it off directly and skip
+     the arrival notification (nothing is left queued, so waking the
+     receive-any machinery would only cause spurious rescans). *)
+  if Mailbox.waiters q > 0 && is_fastpath_candidate msg then begin
+    match Mailbox.send q msg with
+    | () ->
+      stats.s_rpc_fastpath <- stats.s_rpc_fastpath + 1;
+      Ok ()
+    | exception Mailbox.Closed -> Error Send_invalid_port
+  end
+  else
+    match
+      match timeout with
+      | None ->
+        Mailbox.send q msg;
+        true
+      | Some t -> Mailbox.send_timeout q msg ~timeout:t
+    with
+    | true ->
+      Port.notify_arrival port;
+      Ok ()
+    | false -> Error Send_timed_out
+    | exception Mailbox.Closed -> Error Send_invalid_port
 
 let send node ?timeout msg =
   let dest = msg.Message.header.dest in
   if not (Port.alive dest) then Error Send_invalid_port
   else begin
     Engine.sleep (send_cost_us node msg);
+    let stats = node.node_stats in
+    stats.s_msgs_sent <- stats.s_msgs_sent + 1;
+    stats.s_bytes_copied <- stats.s_bytes_copied + Message.inline_bytes msg;
+    stats.s_bytes_mapped <- stats.s_bytes_mapped + Message.mapped_bytes msg;
     (* The port may have died while we were copying. *)
     if not (Port.alive dest) then Error Send_invalid_port
-    else if Port.home dest = node.node_host then enqueue_local ?timeout dest msg
+    else if Port.home dest = node.node_host then enqueue_local stats ?timeout dest msg
     else begin
       (* Remote destination: hand the message to the network; the
          sender does not wait for remote queueing (netmsg-server
-         style). Queue-full blocking happens at the remote side in a
-         detached delivery thread. *)
+         style). Only [wire_bytes] transit — copy-object pages stay
+         home and are paged over on demand. Queue-full blocking
+         happens in the destination host's delivery daemon. *)
       let ctx = Port.context dest in
       let net = Context.net ctx in
-      let bytes = Message.total_bytes msg in
-      Net.deliver net ~src:node.node_host ~dst:(Port.home dest) ~bytes (fun () ->
-          Engine.spawn (Context.engine ctx) ~name:"net-delivery" (fun () ->
+      let dst = Port.home dest in
+      let bytes = Message.wire_bytes msg in
+      Net.deliver net ~src:node.node_host ~dst ~bytes (fun () ->
+          Context.deliver_to ctx ~dst (fun () ->
               if Port.alive dest then
-                match enqueue_local dest msg with Ok () | Error _ -> ()));
+                match enqueue_local stats dest msg with Ok () | Error _ -> ()));
       Ok ()
     end
   end
@@ -87,32 +155,44 @@ let receive_one node space port ?timeout () =
 let receive_any node space ?timeout () =
   let engine = Context.engine (Port_space.context space) in
   let deadline = Option.map (fun t -> Engine.now engine +. t) timeout in
-  let rec scan () =
-    let ports = Port_space.enabled_ports space in
-    let rec try_ports = function
-      | [] -> None
-      | (_, port) :: rest -> (
-        match Mailbox.try_recv (Port.queue port) with
-        | Some msg -> Some msg
-        | None | (exception Mailbox.Closed) -> try_ports rest)
-    in
-    match try_ports ports with
-    | Some msg ->
-      charge_receive node;
-      insert_caps space msg;
-      Ok msg
-    | None -> (
-      match deadline with
-      | None ->
-        Waitq.wait (Port_space.activity space);
-        scan ()
-      | Some d ->
-        let remaining = d -. Engine.now engine in
-        if remaining <= 0.0 then Error Recv_timed_out
-        else if Waitq.wait_timeout (Port_space.activity space) ~timeout:remaining then scan ()
-        else Error Recv_timed_out)
+  (* O(1) receive: pop the oldest ready port off the FIFO the arrival
+     hooks maintain — no scan of the enabled set. [after_wakeup] tracks
+     whether this attempt follows a waitq wakeup so we can count
+     wakeups that found nothing ready (targeted wakeups should make
+     that count zero). *)
+  let rec attempt ~after_wakeup =
+    match Port_space.pop_ready space with
+    | Some (name, port) -> (
+      match Mailbox.try_recv (Port.queue port) with
+      | Some msg ->
+        (* More messages may be waiting behind this one. *)
+        Port_space.requeue_ready space name;
+        charge_receive node;
+        insert_caps space msg;
+        Ok msg
+      | None | (exception Mailbox.Closed) ->
+        (* pop_ready validated queued > 0 and nothing can run between
+           that check and this dequeue, but stay defensive. *)
+        attempt ~after_wakeup)
+    | None ->
+      if after_wakeup then begin
+        let s = node.node_stats in
+        s.s_spurious_wakeups <- s.s_spurious_wakeups + 1
+      end;
+      wait ()
+  and wait () =
+    match deadline with
+    | None ->
+      Waitq.wait (Port_space.activity space);
+      attempt ~after_wakeup:true
+    | Some d ->
+      let remaining = d -. Engine.now engine in
+      if remaining <= 0.0 then Error Recv_timed_out
+      else if Waitq.wait_timeout (Port_space.activity space) ~timeout:remaining then
+        attempt ~after_wakeup:true
+      else Error Recv_timed_out
   in
-  scan ()
+  attempt ~after_wakeup:false
 
 let receive node space ~from ?timeout () =
   match from with

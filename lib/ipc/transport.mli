@@ -5,15 +5,34 @@
     - a fixed per-message software overhead ([msg_overhead_us]);
     - inline and [Copy_transfer] out-of-line bytes cost a physical copy
       (derived from the machine's page-copy rate);
-    - [Map_transfer] out-of-line regions cost one map operation per page
-      — the duality's win for large messages;
-    - cross-host destinations add network transit (latency + bytes/BW);
-      the sender does not wait for remote queueing. *)
+    - [Map_transfer] out-of-line payloads carried in the message cost
+      one map operation per page — the duality's win for large
+      messages; [Ool_copy] handles cost nothing here (copyin charged
+      its map ops already, copyout/fault pay theirs lazily);
+    - cross-host destinations add network transit (latency + wire
+      bytes / BW — copy-object pages do not transit); the sender does
+      not wait for remote queueing. *)
+
+(** Per-host IPC counters (hung off the node shared by a host's kernel
+    context and tasks). *)
+type ipc_stats = {
+  mutable s_msgs_sent : int;
+  mutable s_bytes_copied : int;  (** inline + [Copy_transfer] bytes physically copied at send *)
+  mutable s_bytes_mapped : int;  (** bytes moved by mapping (incl. copy objects) *)
+  mutable s_copyins : int;  (** [vm_map_copyin] snapshots taken *)
+  mutable s_lazy_copyout_faults : int;  (** faults materializing lazily copied-out pages *)
+  mutable s_rpc_fastpath : int;  (** sends that handed off directly to a blocked receiver *)
+  mutable s_spurious_wakeups : int;  (** receive-any wakeups that found no ready port *)
+}
+
+val fresh_ipc_stats : unit -> ipc_stats
+val ipc_stats_to_list : ipc_stats -> (string * int) list
 
 type node = {
   node_host : int;  (** host id of the calling task *)
   node_params : Mach_hw.Machine.params;
   node_page_size : int;
+  node_stats : ipc_stats;
 }
 
 type send_error =
@@ -24,10 +43,17 @@ type recv_error =
   | Recv_timed_out
   | Recv_invalid_port  (** no receive right / port dead with empty queue *)
 
+val fastpath_inline_bytes : int
+(** Largest fully-inline message eligible for the direct-handoff fast
+    path (delivered straight to a blocked receiver, skipping the
+    arrival notification). *)
+
 val send :
   node -> ?timeout:float -> Message.t -> (unit, send_error) result
 (** Blocks while the destination queue is full (unless [timeout],
-    in microseconds, is given; [timeout] = 0 is a non-blocking try). *)
+    in microseconds, is given; [timeout] = 0 is a non-blocking try).
+    Remote destinations enqueue through the destination host's single
+    delivery daemon (one thread per host, not per message). *)
 
 val receive :
   node ->
@@ -37,7 +63,8 @@ val receive :
   unit ->
   (Message.t, recv_error) result
 (** [`Any] receives from the space's enabled default group (§3.2,
-    [port_enable]); ports are scanned in name order. Port capabilities
+    [port_enable]) in message-arrival order via the ready-port FIFO —
+    O(1) per receive, no scan of the enabled set. Port capabilities
     carried in the message are inserted into the receiving space. *)
 
 val rpc :

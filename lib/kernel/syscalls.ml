@@ -15,9 +15,41 @@ let enter t =
 
 (* --- Table 3-1 ---------------------------------------------------------- *)
 
+(* Resolve out-of-line regions named by the sending task into kernel
+   copy objects (vm_map_copyin) at send time: the message leaves with a
+   handle, never the bytes. Local destinations carry the vm_copy
+   directly; remote ones carry a netmem-style memory-object export that
+   the receiving kernel pages on demand. *)
+let resolve_ool t msg =
+  let is_mine = function
+    | Message.Ool_region r -> r.Message.src_task = t.t_id
+    | Message.Data _ | Message.Caps _ | Message.Ool _ | Message.Ool_copy _ -> false
+  in
+  if not (List.exists is_mine msg.Message.body) then msg
+  else begin
+    let kctx = t.t_kernel.k_kctx in
+    let dest = msg.Message.header.dest in
+    let local = Mach_ipc.Port.home dest = t.t_node.Transport.node_host in
+    let resolve item =
+      if not (is_mine item) then item
+      else
+        match item with
+        | Message.Ool_region { Message.src_addr; region_size; _ } ->
+          let copy = Vm_map.copyin t.t_map ~addr:src_addr ~size:region_size in
+          let size = Vm_map.copy_size copy in
+          let payload =
+            if local then Vm_map.Vm_copy_handle copy
+            else Message.Net_copy { nc_object = Mach_vm.Copy_server.export kctx copy }
+          in
+          Message.Ool_copy { Message.cp_size = size; cp_payload = payload }
+        | item -> item
+    in
+    { msg with Message.body = List.map resolve msg.Message.body }
+  end
+
 let msg_send t ?timeout msg =
   enter t;
-  Transport.send t.t_node ?timeout msg
+  Transport.send t.t_node ?timeout (resolve_ool t msg)
 
 let msg_receive t ?(from = `Any) ?timeout () =
   enter t;
@@ -185,14 +217,40 @@ let ool_region t ~addr ~size =
   Message.Ool_region { Message.src_task = t.t_id; src_addr = addr; region_size = size }
 
 let map_ool t msg =
-  List.map
-    (fun { Message.src_task; src_addr; region_size } ->
-      match List.find_opt (fun x -> x.t_id = src_task) t.t_kernel.k_tasks with
-      | None -> invalid_arg "Syscalls.map_ool: source task not on this host (or dead)"
-      | Some src ->
-        let addr = transfer_region ~from_task:src ~to_task:t ~addr:src_addr ~size:region_size in
-        (addr, region_size))
-    (Message.ool_regions msg)
+  let kctx = t.t_kernel.k_kctx in
+  List.filter_map
+    (fun item ->
+      match item with
+      | Message.Ool_copy { Message.cp_size; cp_payload = Vm_map.Vm_copy_handle copy } ->
+        if copy.Vm_map.vc_kctx != kctx then
+          invalid_arg "Syscalls.map_ool: local copy handle from another host";
+        (* Lazy copy-out: O(pieces) map manipulation now, pages
+           materialize through the fault path on first touch. *)
+        let addr = Vm_map.copyout t.t_map copy () in
+        Some (addr, cp_size)
+      | Message.Ool_copy { Message.cp_size; cp_payload = Message.Net_copy { nc_object } } ->
+        (* Remote copy object: map the sender's export like any
+           manager-backed region; pages cross the wire on demand.
+           needs_copy keeps local writes in a shadow so they can never
+           leak back to the exporter. *)
+        let obj = Mach_vm.Vm_object.create_external kctx ~memory_object:nc_object ~size:cp_size in
+        Mach_vm.Pager_client.ensure_initialized kctx obj;
+        let addr =
+          Vm_map.allocate_with_object t.t_map ~size:cp_size ~anywhere:true ~obj ~offset:0
+            ~needs_copy:true ~from_copy:true ()
+        in
+        Some (addr, cp_size)
+      | Message.Ool_copy _ -> invalid_arg "Syscalls.map_ool: unknown copy payload"
+      | Message.Ool_region { Message.src_task; src_addr; region_size } -> (
+        (* Legacy eager path: the region was never resolved at send
+           time; both tasks must share this kernel. *)
+        match List.find_opt (fun x -> x.t_id = src_task) t.t_kernel.k_tasks with
+        | None -> invalid_arg "Syscalls.map_ool: source task not on this host (or dead)"
+        | Some src ->
+          let addr = transfer_region ~from_task:src ~to_task:t ~addr:src_addr ~size:region_size in
+          Some (addr, region_size))
+      | Message.Data _ | Message.Caps _ | Message.Ool _ -> None)
+    msg.Message.body
 
 (* --- memory access ------------------------------------------------------ *)
 

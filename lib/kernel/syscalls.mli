@@ -13,6 +13,12 @@ module Prot = Mach_hw.Prot
 (** {2 Table 3-1: primitive message operations} *)
 
 val msg_send : task -> ?timeout:float -> Message.t -> (unit, Transport.send_error) result
+(** [Ool_region] items naming the caller's address space are resolved
+    into kernel copy objects before the send ([vm_map_copyin]): the
+    sender's pages are COW-protected at O(pages) map cost and the
+    message carries only a handle. Remote destinations get a
+    netmem-style memory-object export instead, paged over the wire on
+    demand. *)
 
 val msg_receive :
   task ->
@@ -107,9 +113,12 @@ val ool_region : task -> addr:int -> size:int -> Message.item
     sender's address space by mapping. *)
 
 val map_ool : task -> Message.t -> (int * int) list
-(** Map every [Ool_region] item of a received message into the calling
-    task's address space (copy-on-write); returns (address, size) pairs
-    in body order. Sender and receiver must share a host kernel. *)
+(** Map every out-of-line region of a received message into the calling
+    task's address space; returns (address, size) pairs in body order.
+    [Ool_copy] handles go through lazy [vm_map_copyout] (local) or a
+    demand-paged mapping of the sender's export (remote [Net_copy]);
+    legacy unresolved [Ool_region] items are transferred eagerly and
+    require sender and receiver to share a host kernel. *)
 
 (** {2 Memory access (simulated loads/stores by task code)} *)
 

@@ -19,12 +19,9 @@ let create k ?parent ~name () =
       t_kernel = k;
       t_map = map;
       t_space = Port_space.create k.k_ctx ~home:k.k_host;
-      t_node =
-        {
-          Mach_ipc.Transport.node_host = k.k_host;
-          node_params = k.k_params;
-          node_page_size = k.k_kctx.Mach_vm.Kctx.page_size;
-        };
+      (* Share the kernel's node: per-host IPC counters aggregate in one
+         place instead of scattering across per-task records. *)
+      t_node = k.k_kctx.Mach_vm.Kctx.node;
       t_threads = [];
       t_alive = true;
       t_port = None;

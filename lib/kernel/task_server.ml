@@ -121,12 +121,7 @@ let start kernel =
     {
       kernel;
       space;
-      node =
-        {
-          Transport.node_host = kernel.k_host;
-          node_params = kernel.k_params;
-          node_page_size = kernel.k_kctx.Mach_vm.Kctx.page_size;
-        };
+      node = kernel.k_kctx.Mach_vm.Kctx.node;
       by_port = Hashtbl.create 32;
     }
   in

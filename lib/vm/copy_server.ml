@@ -1,0 +1,95 @@
+(* Network export of a message copy object.
+
+   When an out-of-line region travels to another host, the bytes do not:
+   the sending kernel parks the vm_map_copyin snapshot in a private
+   kernel map and serves it as a memory object over the external-pager
+   protocol (the netmem shape). The message carries only a send right to
+   that memory object; the receiving kernel maps it like any
+   manager-backed region and pages cross the wire on demand, one
+   data_request/data_provided exchange per fault cluster.
+
+   Lifecycle: the receiving kernel's pager_init names its request port;
+   when the receiver is done (vm_deallocate / task death) its kernel
+   destroys that port, our death hook tears the export down, and the
+   server thread exits. *)
+
+module Engine = Mach_sim.Engine
+module Port = Mach_ipc.Port
+module Port_space = Mach_ipc.Port_space
+module Transport = Mach_ipc.Transport
+module Message = Mach_ipc.Message
+module Prot = Mach_hw.Prot
+module Pmap = Mach_hw.Pmap
+
+let log = Logs.Src.create "mach.copy_server" ~doc:"remote copy-object export"
+
+module Log = (val Logs.src_log log)
+
+let export kctx copy =
+  let ctx = kctx.Kctx.ctx in
+  let host = kctx.Kctx.host in
+  let size = Vm_map.copy_size copy in
+  (* Park the snapshot in a private kernel map: the copy's references
+     move here, and reads below materialize pages through the ordinary
+     (lazy copy-out) fault path only when the remote side asks. *)
+  let map = Vm_map.create kctx ~pmap:(Some (Pmap.create kctx.Kctx.mem)) () in
+  let base = Vm_map.copyout map copy () in
+  let space = Port_space.create ctx ~home:host in
+  let mo = Port.create ctx ~home:host ~backlog:64 () in
+  let mo_name = Port_space.insert space mo Message.Receive_right in
+  let torn_down = ref false in
+  let teardown () =
+    if not !torn_down then begin
+      torn_down := true;
+      Vm_map.destroy map;
+      (* Destroying the space kills [mo], waking the server loop. *)
+      Port_space.destroy space
+    end
+  in
+  let serve_request ~request ~offset ~length =
+    let lo = max 0 offset in
+    let hi = min size (offset + length) in
+    if hi <= lo then ()
+    else
+      match Access.read_bytes kctx map ~addr:(base + lo) ~len:(hi - lo) () with
+      | Ok data ->
+        Transport.send kctx.Kctx.node
+          (Pager_iface.encode_m2k
+             (Pager_iface.Data_provided { offset = lo; data; lock_value = Prot.none })
+             ~request)
+        |> ignore
+      | Error e ->
+        Log.warn (fun m -> m "copy export read failed: %a" Access.pp_error e);
+        Transport.send kctx.Kctx.node
+          (Pager_iface.encode_m2k
+             (Pager_iface.Data_unavailable { offset = lo; size = hi - lo })
+             ~request)
+        |> ignore
+  in
+  Engine.spawn kctx.Kctx.engine ~name:"copy-server" (fun () ->
+      let rec loop () =
+        match Transport.receive kctx.Kctx.node space ~from:(`Port mo_name) () with
+        | Error _ -> teardown ()
+        | Ok msg -> (
+          (match Pager_iface.decode_k2m msg with
+          | exception Pager_iface.Malformed reason ->
+            Log.warn (fun m -> m "malformed message for exported copy: %s" reason)
+          | Pager_iface.Init { request; _ } ->
+            (* The receiver's kernel is attached; its request port's
+               death is the signal that it unmapped the region. *)
+            ignore (Port.on_death request teardown)
+          | Pager_iface.Data_request { request; offset; length; _ } ->
+            serve_request ~request ~offset ~length
+          | Pager_iface.Data_unlock { request; offset; length; _ } ->
+            (* Nothing is ever locked; re-provide so the faulter makes
+               progress. *)
+            serve_request ~request ~offset ~length
+          | Pager_iface.Data_write _ | Pager_iface.Create _ | Pager_iface.Lock_completed _ ->
+            (* Receiver-side writes shadow locally (needs_copy) and can
+               never be written back; anything else is a protocol
+               error we simply drop. *)
+            Log.warn (fun m -> m "unexpected message for exported copy"));
+          if !torn_down then () else loop ())
+      in
+      loop ());
+  mo

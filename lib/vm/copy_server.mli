@@ -1,0 +1,13 @@
+(** Network export of message copy objects (the netmem shape).
+
+    A copy object whose receiver lives on another host is parked in a
+    private kernel map and served over the external-pager protocol:
+    the message carries only a send right to the returned memory
+    object, and pages cross the wire on demand as the receiver faults
+    them. The export tears itself down when the receiving kernel drops
+    the object (its pager request port dies). *)
+
+val export : Kctx.t -> Vm_map.vm_copy -> Mach_ipc.Message.port
+(** Consumes the copy (its references move into the server's private
+    map); returns the memory-object port to embed in the message as
+    [Net_copy]. *)

@@ -305,6 +305,14 @@ let handle kctx map ~addr ~write ?policy () =
   | Error `Invalid_address -> Invalid_address
   | Error `Protection -> Protection_failure
   | Ok lk -> (
+    (* Faults against entries created by a lazy message copy-out are the
+       deferred half of the transfer: count them separately so the
+       copyin-vs-materialization balance shows in the IPC stats. *)
+    if lk.Vm_map.lk_from_copy then begin
+      let is = kctx.Kctx.node.Mach_ipc.Transport.node_stats in
+      is.Mach_ipc.Transport.s_lazy_copyout_faults <-
+        is.Mach_ipc.Transport.s_lazy_copyout_faults + 1
+    end;
     match Vm_object.lookup_chain lk.Vm_map.lk_obj ~offset:lk.Vm_map.lk_offset with
     | Some (page, _owner, depth)
       when (not page.busy) && (not page.absent) && (not page.p_error)

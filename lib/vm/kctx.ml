@@ -125,6 +125,7 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
         Mach_ipc.Transport.node_host = host;
         node_params = params;
         node_page_size = Phys_mem.page_size mem;
+        node_stats = Mach_ipc.Transport.fresh_ipc_stats ();
       };
     kspace = Port_space.create ctx ~home:host;
     queues = Page_queues.create ();

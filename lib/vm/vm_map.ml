@@ -1,6 +1,8 @@
 open Vm_types
 module Prot = Mach_hw.Prot
 module Pmap = Mach_hw.Pmap
+module Machine = Mach_hw.Machine
+module Transport = Mach_ipc.Transport
 
 (* Entries are kept in a sorted array (by va_start, non-overlapping) so
    the fault-path lookup is a binary search instead of the historical
@@ -30,7 +32,13 @@ and entry = {
 }
 
 and entry_backing = Direct of direct | Shared of { share_map : t; sh_offset : int }
-and direct = { mutable d_obj : obj; mutable d_offset : int; mutable needs_copy : bool }
+
+and direct = {
+  mutable d_obj : obj;
+  mutable d_offset : int;
+  mutable needs_copy : bool;
+  d_from_copy : bool;
+}
 
 type region_info = {
   ri_start : int;
@@ -174,7 +182,12 @@ let clip t addr =
       | Direct d ->
         d.d_obj.ref_count <- d.d_obj.ref_count + 1;
         Direct
-          { d_obj = d.d_obj; d_offset = d.d_offset + (addr - e.va_start); needs_copy = d.needs_copy }
+          {
+            d_obj = d.d_obj;
+            d_offset = d.d_offset + (addr - e.va_start);
+            needs_copy = d.needs_copy;
+            d_from_copy = d.d_from_copy;
+          }
       | Shared s ->
         s.share_map.mref <- s.share_map.mref + 1;
         Shared { share_map = s.share_map; sh_offset = s.sh_offset + (addr - e.va_start) }
@@ -346,7 +359,7 @@ let pick_address t ?addr ~size ~anywhere () =
   (base, size)
 
 let allocate_with_object t ?addr ~size ~anywhere ~obj ~offset ?(needs_copy = false)
-    ?(protection = Prot.rw) ?(max_protection = Prot.all) () =
+    ?(from_copy = false) ?(protection = Prot.rw) ?(max_protection = Prot.all) () =
   let base, size = pick_address t ?addr ~size ~anywhere () in
   insert_entry t
     {
@@ -355,7 +368,7 @@ let allocate_with_object t ?addr ~size ~anywhere ~obj ~offset ?(needs_copy = fal
       protection;
       max_protection;
       inheritance = Inherit_copy;
-      backing = Direct { d_obj = obj; d_offset = offset; needs_copy };
+      backing = Direct { d_obj = obj; d_offset = offset; needs_copy; d_from_copy = from_copy };
     };
   base
 
@@ -416,7 +429,13 @@ let regions t =
 
 (* ---- lookup (fault path) ---------------------------------------------- *)
 
-type lookup = { lk_entry_prot : Prot.t; lk_obj : obj; lk_offset : int; lk_writable : bool }
+type lookup = {
+  lk_entry_prot : Prot.t;
+  lk_obj : obj;
+  lk_offset : int;
+  lk_writable : bool;
+  lk_from_copy : bool;
+}
 
 (* Resolve a pending copy-on-write by interposing a shadow object over
    the direct record; the old object becomes the frozen common ancestor
@@ -448,6 +467,7 @@ let lookup ?(count = true) t ~addr ~write =
             lk_obj = d.d_obj;
             lk_offset = t.kctx.Kctx.page_size * (offset / t.kctx.Kctx.page_size);
             lk_writable = Prot.can_write e.protection && not d.needs_copy;
+            lk_from_copy = d.d_from_copy;
           }
       in
       match e.backing with
@@ -550,10 +570,82 @@ let fork t ~child_pmap =
                 protection = e.protection;
                 max_protection = e.max_protection;
                 inheritance = e.inheritance;
-                backing = Direct { d_obj = obj; d_offset = offset; needs_copy = true };
+                backing =
+                  Direct { d_obj = obj; d_offset = offset; needs_copy = true; d_from_copy = false };
               }))
     t.map_entries;
   child
+
+(* ---- message copy objects (vm_map_copyin / vm_map_copyout) ------------ *)
+
+type copy_piece = { cpc_rel : int; cpc_span : int; cpc_obj : obj; cpc_offset : int }
+
+type vm_copy = {
+  vc_kctx : Kctx.t;
+  vc_size : int;
+  vc_pieces : copy_piece list;
+  mutable vc_consumed : bool;
+}
+
+type Mach_ipc.Message.copy_payload += Vm_copy_handle of vm_copy
+
+let copyin t ~addr ~size =
+  let ps = page_size t in
+  let kctx = t.kctx in
+  let lo = addr land lnot (ps - 1) in
+  let hi = (addr + size + ps - 1) land lnot (ps - 1) in
+  let es = entries_covering t ~lo ~hi in
+  let pieces = ref [] in
+  List.iter
+    (fun e ->
+      (* cow_share (inside copy_pieces) takes an object reference for
+         the copy object and COW-protects the sender's entries: later
+         sender writes shadow, leaving the snapshot untouched. *)
+      copy_pieces t e ~lo:e.va_start ~hi:e.va_end (fun ~rel ~span ~obj ~offset ->
+          pieces :=
+            { cpc_rel = e.va_start - lo + rel; cpc_span = span; cpc_obj = obj; cpc_offset = offset }
+            :: !pieces))
+    es;
+  let stats = kctx.Kctx.node.Transport.node_stats in
+  stats.Transport.s_copyins <- stats.Transport.s_copyins + 1;
+  (* Write-protecting the source is one map op per page: O(pages) map
+     work instead of O(bytes) copying. *)
+  Kctx.charge kctx (float_of_int ((hi - lo) / ps) *. kctx.Kctx.params.Machine.map_op_us);
+  { vc_kctx = kctx; vc_size = hi - lo; vc_pieces = List.rev !pieces; vc_consumed = false }
+
+let copyout t copy ?addr () =
+  if copy.vc_kctx != t.kctx then invalid_arg "Vm_map.copyout: copy object from another kernel";
+  if copy.vc_consumed then invalid_arg "Vm_map.copyout: copy object already consumed";
+  copy.vc_consumed <- true;
+  let base, _ = pick_address t ?addr ~size:copy.vc_size ~anywhere:true () in
+  List.iter
+    (fun p ->
+      (* The copy object's reference on each piece moves to the new
+         entry; no data is touched — pages materialize lazily through
+         the fault path (d_from_copy marks them for the stats). *)
+      insert_entry t
+        {
+          va_start = base + p.cpc_rel;
+          va_end = base + p.cpc_rel + p.cpc_span;
+          protection = Prot.rw;
+          max_protection = Prot.all;
+          inheritance = Inherit_copy;
+          backing =
+            Direct
+              { d_obj = p.cpc_obj; d_offset = p.cpc_offset; needs_copy = true; d_from_copy = true };
+        })
+    copy.vc_pieces;
+  Kctx.charge t.kctx
+    (float_of_int (List.length copy.vc_pieces) *. t.kctx.Kctx.params.Machine.map_op_us);
+  base
+
+let copy_discard copy =
+  if not copy.vc_consumed then begin
+    copy.vc_consumed <- true;
+    List.iter (fun p -> Vm_object.deallocate copy.vc_kctx p.cpc_obj) copy.vc_pieces
+  end
+
+let copy_size copy = copy.vc_size
 
 let copy_region ~src ~src_addr ~size ~dst ?dst_addr () =
   let ps = page_size src in
@@ -574,7 +666,8 @@ let copy_region ~src ~src_addr ~size ~dst ?dst_addr () =
               protection = Prot.rw;
               max_protection = Prot.all;
               inheritance = Inherit_copy;
-              backing = Direct { d_obj = obj; d_offset = offset; needs_copy = true };
+              backing =
+                Direct { d_obj = obj; d_offset = offset; needs_copy = true; d_from_copy = false };
             }))
     es;
   base

@@ -30,6 +30,9 @@ and direct = {
   mutable d_obj : obj;
   mutable d_offset : int;
   mutable needs_copy : bool;  (** copy-on-write pending: shadow before writing *)
+  d_from_copy : bool;
+      (** entry came from a lazy message copy-out; its faults count as
+          copy-out materialization *)
 }
 
 type region_info = {
@@ -73,6 +76,7 @@ val allocate_with_object :
   obj:obj ->
   offset:int ->
   ?needs_copy:bool ->
+  ?from_copy:bool ->
   ?protection:Mach_hw.Prot.t ->
   ?max_protection:Mach_hw.Prot.t ->
   unit ->
@@ -106,6 +110,7 @@ type lookup = {
   lk_obj : obj;  (** the first-level object to search from *)
   lk_offset : int;  (** offset of the faulting page within [lk_obj] *)
   lk_writable : bool;  (** hardware may map writable (no pending COW) *)
+  lk_from_copy : bool;  (** fault materializes a lazily copied-out page *)
 }
 
 val lookup :
@@ -132,3 +137,50 @@ val copy_region : src:t -> src_addr:int -> size:int -> dst:t -> ?dst_addr:int ->
     [src] into fresh address space of [dst] (the mechanism behind
     [vm_copy], large message transfer, and [fs_read_file]'s reply).
     Returns the destination address. *)
+
+(** {2 Message copy objects ([vm_map_copyin] / [vm_map_copyout])}
+
+    At send time the kernel snapshots the sender's region into a
+    kernel-held copy object: the sender's entries are COW-protected
+    ([needs_copy] + pmap write-protect) and the copy holds object
+    references — no bytes move. The message carries the handle; at
+    receive time {!copyout} maps it with [needs_copy = true] and pages
+    materialize lazily through the fault path. *)
+
+type copy_piece = {
+  cpc_rel : int;  (** offset of this piece within the copy *)
+  cpc_span : int;
+  cpc_obj : obj;  (** referenced; released by copyout-consume or discard *)
+  cpc_offset : int;
+}
+
+type vm_copy = {
+  vc_kctx : Kctx.t;
+  vc_size : int;  (** page-rounded bytes covered *)
+  vc_pieces : copy_piece list;  (** tile [0, vc_size) in order *)
+  mutable vc_consumed : bool;
+}
+
+type Mach_ipc.Message.copy_payload += Vm_copy_handle of vm_copy
+      (** how a copy object travels inside a {!Mach_ipc.Message.Ool_copy}
+          item between tasks of the same kernel *)
+
+val copyin : t -> addr:int -> size:int -> vm_copy
+(** [vm_map_copyin]: snapshot [addr, addr+size) (page-rounded). Charges
+    one map op per page (the COW write-protect); copies no bytes.
+    Raises {!Bad_address} if the range has holes. Increments the
+    kernel's [s_copyins] counter. *)
+
+val copyout : t -> vm_copy -> ?addr:int -> unit -> int
+(** [vm_map_copyout]: map the copy into [t] at a fresh address (consumes
+    the copy — its references move to the new entries). O(pieces) map
+    ops; first touch of each page faults ([lk_from_copy]). Raises
+    [Invalid_argument] if the copy was already consumed or belongs to a
+    different kernel (remote copies go through the netmem-style export
+    instead). *)
+
+val copy_discard : vm_copy -> unit
+(** Drop an unconsumed copy object (send failed, message destroyed).
+    Idempotent. *)
+
+val copy_size : vm_copy -> int

@@ -23,6 +23,7 @@ let node ?(host = 0) () =
     Transport.node_host = host;
     node_params = Machine.uniprocessor;
     node_page_size = 4096;
+    node_stats = Transport.fresh_ipc_stats ();
   }
 
 let data s = Message.Data (Bytes.of_string s)
@@ -393,6 +394,162 @@ let test_blocked_sender_woken_by_port_death () =
   | `Pending -> Alcotest.fail "sender still blocked after port death"
   | `Sent | `Other -> Alcotest.fail "wrong outcome"
 
+(* ---- ready-port FIFO (O(1) receive-any) ----------------------------------- *)
+
+let test_receive_any_arrival_order () =
+  (* receive-any must drain ports in message-arrival order, not name
+     order: the ready FIFO remembers which port went non-empty first. *)
+  let eng, _, ctx = make_ctx () in
+  let sp = Port_space.create ctx ~home:0 in
+  let n1 = Port_space.allocate sp () in
+  let n2 = Port_space.allocate sp () in
+  let n3 = Port_space.allocate sp () in
+  List.iter (Port_space.enable sp) [ n1; n2; n3 ];
+  let p1 = Port_space.lookup_exn sp n1 in
+  let p2 = Port_space.lookup_exn sp n2 in
+  let p3 = Port_space.lookup_exn sp n3 in
+  in_sim eng (fun () ->
+      let nd = node () in
+      (* Sends are sequential in simulated time: arrival order is c, a, b. *)
+      ignore (Transport.send nd (Message.make ~dest:p3 [ data "c" ]));
+      ignore (Transport.send nd (Message.make ~dest:p1 [ data "a" ]));
+      ignore (Transport.send nd (Message.make ~dest:p2 [ data "b" ]));
+      let next () =
+        match Transport.receive nd sp ~from:`Any () with
+        | Ok msg -> Bytes.to_string (Message.data_exn msg)
+        | Error _ -> Alcotest.fail "receive-any failed"
+      in
+      let r1 = next () in
+      let r2 = next () in
+      let r3 = next () in
+      check Alcotest.(list string) "arrival order" [ "c"; "a"; "b" ] [ r1; r2; r3 ])
+
+let test_receive_any_same_port_drains () =
+  (* Two messages on one ready port: the port is requeued after the
+     first receive so the second is still reachable by receive-any. *)
+  let eng, _, ctx = make_ctx () in
+  let sp = Port_space.create ctx ~home:0 in
+  let n = Port_space.allocate sp () in
+  Port_space.enable sp n;
+  let p = Port_space.lookup_exn sp n in
+  in_sim eng (fun () ->
+      let nd = node () in
+      ignore (Transport.send nd (Message.make ~dest:p [ data "first" ]));
+      ignore (Transport.send nd (Message.make ~dest:p [ data "second" ]));
+      let next () =
+        match Transport.receive nd sp ~from:`Any () with
+        | Ok msg -> Bytes.to_string (Message.data_exn msg)
+        | Error _ -> Alcotest.fail "receive-any failed"
+      in
+      let r1 = next () in
+      let r2 = next () in
+      check Alcotest.(list string) "fifo within port" [ "first"; "second" ] [ r1; r2 ])
+
+let test_enable_seeds_ready () =
+  (* A port that already has queued messages when it is enabled must
+     become receivable by receive-any without a fresh arrival. *)
+  let eng, _, ctx = make_ctx () in
+  let sp = Port_space.create ctx ~home:0 in
+  let n = Port_space.allocate sp () in
+  let p = Port_space.lookup_exn sp n in
+  in_sim eng (fun () ->
+      let nd = node () in
+      ignore (Transport.send nd (Message.make ~dest:p [ data "early" ]));
+      Port_space.enable sp n;
+      match Transport.receive nd sp ~from:`Any ~timeout:10.0 () with
+      | Ok msg -> check Alcotest.string "queued message found" "early"
+                    (Bytes.to_string (Message.data_exn msg))
+      | Error _ -> Alcotest.fail "receive-any missed the pre-enable message")
+
+let test_no_spurious_wakeups () =
+  (* The thundering-herd check: many idle enabled ports, several blocked
+     receive-any waiters, one message. Exactly one waiter must wake and
+     consume it; nobody may wake to find nothing ready. *)
+  let eng, _, ctx = make_ctx () in
+  let sp = Port_space.create ctx ~home:0 in
+  let names = List.init 16 (fun _ -> Port_space.allocate sp ()) in
+  List.iter (Port_space.enable sp) names;
+  let target = Port_space.lookup_exn sp (List.nth names 11) in
+  let nd = node () in
+  let got = ref 0 and timed_out = ref 0 in
+  for i = 1 to 3 do
+    Engine.spawn eng ~name:(Printf.sprintf "waiter-%d" i) (fun () ->
+        match Transport.receive nd sp ~from:`Any ~timeout:5_000.0 () with
+        | Ok _ -> incr got
+        | Error Transport.Recv_timed_out -> incr timed_out
+        | Error _ -> ())
+  done;
+  Engine.spawn eng ~name:"sender" (fun () ->
+      Engine.sleep 200.0;
+      ignore (Transport.send (node ()) (Message.make ~dest:target [ data "one" ])));
+  Engine.run eng;
+  check Alcotest.int "exactly one winner" 1 !got;
+  check Alcotest.int "losers timed out quietly" 2 !timed_out;
+  check Alcotest.int "zero spurious wakeups" 0 nd.Transport.node_stats.Transport.s_spurious_wakeups;
+  check Alcotest.int "no leaked threads" 0 (Engine.live eng)
+
+let test_rpc_fastpath_counter () =
+  (* A small fully-inline message sent to a port with a blocked receiver
+     hands off directly; a large one takes the ordinary queue path. *)
+  let eng, _, ctx = make_ctx () in
+  let sp = Port_space.create ctx ~home:0 in
+  let n = Port_space.allocate sp () in
+  let p = Port_space.lookup_exn sp n in
+  let nd = node () in
+  let received = ref 0 in
+  Engine.spawn eng ~name:"receiver" (fun () ->
+      for _ = 1 to 2 do
+        match Transport.receive nd sp ~from:(`Port n) () with
+        | Ok _ -> incr received
+        | Error _ -> ()
+      done);
+  Engine.spawn eng ~name:"sender" (fun () ->
+      Engine.sleep 50.0;
+      (* Receiver is blocked: small inline message takes the fast path. *)
+      ignore (Transport.send nd (Message.make ~dest:p [ data "hi" ]));
+      Engine.sleep 50.0;
+      (* Past the inline threshold: normal path, counter unchanged. *)
+      ignore
+        (Transport.send nd
+           (Message.make ~dest:p
+              [ Message.Data (Bytes.create (Transport.fastpath_inline_bytes + 1)) ])));
+  Engine.run eng;
+  check Alcotest.int "both delivered" 2 !received;
+  check Alcotest.int "one fastpath handoff" 1 nd.Transport.node_stats.Transport.s_rpc_fastpath
+
+let test_remote_burst_single_daemon () =
+  (* A burst of cross-host sends drains through one per-destination
+     delivery daemon (not a thread per message), stays in order even
+     when the destination queue is smaller than the burst, and the
+     daemon exits once idle. *)
+  let eng, _, ctx = make_ctx () in
+  let sp = Port_space.create ctx ~home:1 in
+  let n = Port_space.allocate sp ~backlog:4 () in
+  let p = Port_space.lookup_exn sp n in
+  let burst = 20 in
+  let received = ref [] in
+  Engine.spawn eng ~name:"sender" (fun () ->
+      let nd = node ~host:0 () in
+      for i = 1 to burst do
+        ignore (Transport.send nd (Message.make ~dest:p [ data (string_of_int i) ]))
+      done);
+  Engine.spawn eng ~name:"receiver" (fun () ->
+      let nd = node ~host:1 () in
+      for _ = 1 to burst do
+        (* Slow consumer: the daemon must block on the full port queue
+           and resume, not drop or reorder. *)
+        Engine.sleep 30.0;
+        match Transport.receive nd sp ~from:(`Port n) () with
+        | Ok msg -> received := Bytes.to_string (Message.data_exn msg) :: !received
+        | Error _ -> ()
+      done);
+  Engine.run eng;
+  check Alcotest.(list string) "burst in order"
+    (List.init burst (fun i -> string_of_int (i + 1)))
+    (List.rev !received);
+  check Alcotest.int "daemon drained its backlog" 0 (Context.delivery_backlog ctx ~dst:1);
+  check Alcotest.int "daemon exited when idle" 0 (Engine.live eng)
+
 (* qcheck: per-port FIFO — any interleaving of sends from multiple
    senders is received in a per-sender order-preserving sequence. *)
 let fifo_prop =
@@ -483,5 +640,16 @@ let () =
           Alcotest.test_case "blocked sender woken by port death" `Quick
             test_blocked_sender_woken_by_port_death;
           QCheck_alcotest.to_alcotest fifo_prop;
+        ] );
+      ( "ready-fifo",
+        [
+          Alcotest.test_case "receive-any in arrival order" `Quick
+            test_receive_any_arrival_order;
+          Alcotest.test_case "same port drains fully" `Quick test_receive_any_same_port_drains;
+          Alcotest.test_case "enable seeds ready queue" `Quick test_enable_seeds_ready;
+          Alcotest.test_case "no spurious wakeups" `Quick test_no_spurious_wakeups;
+          Alcotest.test_case "rpc fastpath counter" `Quick test_rpc_fastpath_counter;
+          Alcotest.test_case "remote burst through one daemon" `Quick
+            test_remote_burst_single_daemon;
         ] );
     ]
