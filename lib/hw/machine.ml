@@ -13,6 +13,7 @@ type params = {
   fault_base_us : float;
   msg_overhead_us : float;
   context_switch_us : float;
+  quantum_us : float;
   net_latency_us : float;
   net_us_per_byte : float;
   pageout_backoff_us : float;
@@ -32,6 +33,7 @@ let base =
     fault_base_us = 150.0;
     msg_overhead_us = 115.0;
     context_switch_us = 80.0;
+    quantum_us = 10_000.0;
     net_latency_us = 5000.0;
     net_us_per_byte = 0.8;
     pageout_backoff_us = 50.0;
@@ -68,8 +70,8 @@ let hypercube =
 let uniprocessor = { base with model = "VAX 11/780"; cpus = 1 }
 
 let custom ?model ?cpus ?local_access_us ?remote_access_us ?page_copy_us ?map_op_us ?fault_base_us
-    ?msg_overhead_us ?context_switch_us ?net_latency_us ?net_us_per_byte ?pageout_backoff_us
-    mp_class =
+    ?msg_overhead_us ?context_switch_us ?quantum_us ?net_latency_us ?net_us_per_byte
+    ?pageout_backoff_us mp_class =
   let start =
     match mp_class with Uma -> multimax | Numa -> butterfly | Norma -> hypercube
   in
@@ -85,6 +87,7 @@ let custom ?model ?cpus ?local_access_us ?remote_access_us ?page_copy_us ?map_op
     fault_base_us = get start.fault_base_us fault_base_us;
     msg_overhead_us = get start.msg_overhead_us msg_overhead_us;
     context_switch_us = get start.context_switch_us context_switch_us;
+    quantum_us = get start.quantum_us quantum_us;
     net_latency_us = get start.net_latency_us net_latency_us;
     net_us_per_byte = get start.net_us_per_byte net_us_per_byte;
     pageout_backoff_us = get start.pageout_backoff_us pageout_backoff_us;

@@ -23,6 +23,9 @@ type params = {
   fault_base_us : float;  (** trap + fault-handler entry/exit *)
   msg_overhead_us : float;  (** fixed local message send+receive cost *)
   context_switch_us : float;
+  quantum_us : float;
+      (** scheduler timeslice: a compute burst yields its processor at
+          this granularity when the run queue is contended *)
   net_latency_us : float;  (** one-way inter-node message latency *)
   net_us_per_byte : float;  (** inter-node transfer cost per byte *)
   pageout_backoff_us : float;
@@ -56,6 +59,7 @@ val custom :
   ?fault_base_us:float ->
   ?msg_overhead_us:float ->
   ?context_switch_us:float ->
+  ?quantum_us:float ->
   ?net_latency_us:float ->
   ?net_us_per_byte:float ->
   ?pageout_backoff_us:float ->

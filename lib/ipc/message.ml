@@ -5,7 +5,13 @@
 type copy_payload = ..
 
 type t = { header : header; body : item list }
-and header = { dest : port; reply : port option; msg_id : int }
+
+and header = {
+  dest : port;
+  reply : port option;
+  msg_id : int;
+  mutable handoff : int option;  (* transport-set: delivered to a blocked receiver *)
+}
 
 and item =
   | Data of bytes
@@ -27,7 +33,8 @@ type copy_payload += Net_copy of { nc_object : port }
 (* Wire size of a copy-object handle: a port name and a length. *)
 let copy_handle_bytes = 16
 
-let make ?reply ?(msg_id = 0) ~dest body = { header = { dest; reply; msg_id }; body }
+let make ?reply ?(msg_id = 0) ~dest body =
+  { header = { dest; reply; msg_id; handoff = None }; body }
 
 let inline_bytes t =
   List.fold_left

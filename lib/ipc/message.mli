@@ -14,6 +14,12 @@ and header = {
   dest : port;
   reply : port option;
   msg_id : int;  (** operation identifier, like Mach's msgh_id *)
+  mutable handoff : int option;
+      (** set by the transport when the message was handed directly to a
+          blocked receiver: the receive path skips its context-switch
+          charge, and a non-negative value is a scheduler ticket for the
+          donated processor ({!Mach_sim.Sched.claim_handoff}); [-1]
+          marks a handoff with no processor reservation *)
 }
 
 and item =

@@ -1,4 +1,5 @@
 module Engine = Mach_sim.Engine
+module Sched = Mach_sim.Sched
 module Mailbox = Mach_sim.Mailbox
 module Waitq = Mach_sim.Waitq
 module Machine = Mach_hw.Machine
@@ -11,6 +12,7 @@ type ipc_stats = {
   mutable s_copyins : int;
   mutable s_lazy_copyout_faults : int;
   mutable s_rpc_fastpath : int;
+  mutable s_handoffs : int;
   mutable s_spurious_wakeups : int;
 }
 
@@ -22,6 +24,7 @@ let fresh_ipc_stats () =
     s_copyins = 0;
     s_lazy_copyout_faults = 0;
     s_rpc_fastpath = 0;
+    s_handoffs = 0;
     s_spurious_wakeups = 0;
   }
 
@@ -33,6 +36,7 @@ let ipc_stats_to_list s =
     ("copyins", s.s_copyins);
     ("lazy_copyout_faults", s.s_lazy_copyout_faults);
     ("rpc_fastpath", s.s_rpc_fastpath);
+    ("handoffs", s.s_handoffs);
     ("spurious_wakeups", s.s_spurious_wakeups);
   ]
 
@@ -41,7 +45,16 @@ type node = {
   node_params : Machine.params;
   node_page_size : int;
   node_stats : ipc_stats;
+  mutable node_sched : Sched.t option;
+  mutable node_handoff_enabled : bool;
 }
+
+(* All IPC CPU costs contend for the host's processors when a scheduler
+   is wired up; bare nodes (unit tests) keep the old un-contended
+   behaviour. *)
+let node_compute node us =
+  if us > 0.0 then
+    match node.node_sched with Some s -> Sched.compute s us | None -> Engine.sleep us
 
 type send_error = Send_invalid_port | Send_timed_out
 type recv_error = Recv_timed_out | Recv_invalid_port
@@ -68,13 +81,25 @@ let is_fastpath_candidate msg =
   Message.mapped_bytes msg = 0
   && Message.inline_bytes msg <= fastpath_inline_bytes
 
-let enqueue_local stats ?timeout port msg =
+let enqueue_local node ?timeout ~donate port msg =
+  let stats = node.node_stats in
   let q = Port.queue port in
   (* RPC fast path: a receiver is already blocked on this port and the
      message is small and fully inline — hand it off directly and skip
      the arrival notification (nothing is left queued, so waking the
-     receive-any machinery would only cause spurious rescans). *)
+     receive-any machinery would only cause spurious rescans). The
+     handoff mark makes the receive charge-free; when the send runs on
+     the local scheduler the sender additionally donates its processor
+     so the receiver enters computation without a run-queue round trip
+     (remote deliveries never donate: the daemon's processor belongs to
+     the destination host, not to the original sender). *)
   if Mailbox.waiters q > 0 && is_fastpath_candidate msg then begin
+    if donate then begin
+      let ticket =
+        match node.node_sched with Some s -> Sched.donate s | None -> None
+      in
+      msg.Message.header.Message.handoff <- Some (Option.value ticket ~default:(-1))
+    end;
     match Mailbox.send q msg with
     | () ->
       stats.s_rpc_fastpath <- stats.s_rpc_fastpath + 1;
@@ -99,14 +124,15 @@ let send node ?timeout msg =
   let dest = msg.Message.header.dest in
   if not (Port.alive dest) then Error Send_invalid_port
   else begin
-    Engine.sleep (send_cost_us node msg);
+    node_compute node (send_cost_us node msg);
     let stats = node.node_stats in
     stats.s_msgs_sent <- stats.s_msgs_sent + 1;
     stats.s_bytes_copied <- stats.s_bytes_copied + Message.inline_bytes msg;
     stats.s_bytes_mapped <- stats.s_bytes_mapped + Message.mapped_bytes msg;
     (* The port may have died while we were copying. *)
     if not (Port.alive dest) then Error Send_invalid_port
-    else if Port.home dest = node.node_host then enqueue_local stats ?timeout dest msg
+    else if Port.home dest = node.node_host then
+      enqueue_local node ?timeout ~donate:node.node_handoff_enabled dest msg
     else begin
       (* Remote destination: hand the message to the network; the
          sender does not wait for remote queueing (netmsg-server
@@ -120,7 +146,7 @@ let send node ?timeout msg =
       Net.deliver net ~src:node.node_host ~dst ~bytes (fun () ->
           Context.deliver_to ctx ~dst (fun () ->
               if Port.alive dest then
-                match enqueue_local stats dest msg with Ok () | Error _ -> ()));
+                match enqueue_local node ~donate:false dest msg with Ok () | Error _ -> ()));
       Ok ()
     end
   end
@@ -130,7 +156,21 @@ let insert_caps space msg =
     (fun { Message.cap_port; cap_right } -> ignore (Port_space.insert space cap_port cap_right))
     (Message.caps msg)
 
-let charge_receive node = Engine.sleep node.node_params.Machine.context_switch_us
+(* A normal receive pays a context switch (block + redispatch), through
+   the scheduler when one is wired. A handoff receive pays nothing: the
+   sender drove the wakeup and donated its processor — the receiver
+   claims the reservation so its next compute burst starts on the
+   donated CPU without touching a run queue. *)
+let charge_receive node msg =
+  match msg.Message.header.Message.handoff with
+  | Some ticket ->
+    msg.Message.header.Message.handoff <- None;
+    node.node_stats.s_handoffs <- node.node_stats.s_handoffs + 1;
+    if ticket >= 0 then (
+      match node.node_sched with
+      | Some s -> Sched.claim_handoff s ~ticket ~name:(Engine.self_name ())
+      | None -> ())
+  | None -> node_compute node node.node_params.Machine.context_switch_us
 
 let receive_one node space port ?timeout () =
   let result =
@@ -147,7 +187,7 @@ let receive_one node space port ?timeout () =
   in
   match result with
   | Ok msg ->
-    charge_receive node;
+    charge_receive node msg;
     insert_caps space msg;
     Ok msg
   | Error e -> Error e
@@ -167,7 +207,7 @@ let receive_any node space ?timeout () =
       | Some msg ->
         (* More messages may be waiting behind this one. *)
         Port_space.requeue_ready space name;
-        charge_receive node;
+        charge_receive node msg;
         insert_caps space msg;
         Ok msg
       | None | (exception Mailbox.Closed) ->

@@ -22,6 +22,9 @@ type ipc_stats = {
   mutable s_copyins : int;  (** [vm_map_copyin] snapshots taken *)
   mutable s_lazy_copyout_faults : int;  (** faults materializing lazily copied-out pages *)
   mutable s_rpc_fastpath : int;  (** sends that handed off directly to a blocked receiver *)
+  mutable s_handoffs : int;
+      (** receives completed via handoff: the blocked receiver was woken
+          by a fast-path send and skipped its context-switch charge *)
   mutable s_spurious_wakeups : int;  (** receive-any wakeups that found no ready port *)
 }
 
@@ -33,6 +36,16 @@ type node = {
   node_params : Mach_hw.Machine.params;
   node_page_size : int;
   node_stats : ipc_stats;
+  mutable node_sched : Mach_sim.Sched.t option;
+      (** the host's processor scheduler: send/receive CPU costs contend
+          for processors through it, and local fast-path sends donate
+          the sender's processor to the receiver (handoff scheduling).
+          [None] (bare test nodes) falls back to un-contended sleeps. *)
+  mutable node_handoff_enabled : bool;
+      (** when [false], local fast-path sends neither donate a processor
+          nor mark the message, so every receive pays the full
+          context-switch charge — the ablation arm for measuring what
+          handoff scheduling saves. Defaults to [true]. *)
 }
 
 type send_error =

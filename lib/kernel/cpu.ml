@@ -1,11 +1,9 @@
 open Ktypes
-module Engine = Mach_sim.Engine
-module Semaphore = Mach_sim.Semaphore
+module Sched = Mach_sim.Sched
 module Machine = Mach_hw.Machine
 
 let syscall_overhead_us = 10.0
 
-let compute k us =
-  if us > 0.0 then Semaphore.with_permit k.k_cpus (fun () -> Engine.sleep us)
+let compute k us = if us > 0.0 then Sched.compute k.k_sched us
 
 let compute_words k ~words ~remote = compute k (Machine.access_us k.k_params ~remote ~words)

@@ -1,6 +1,5 @@
 open Ktypes
 module Engine = Mach_sim.Engine
-module Semaphore = Mach_sim.Semaphore
 module Machine = Mach_hw.Machine
 module Phys_mem = Mach_hw.Phys_mem
 module Disk = Mach_hw.Disk
@@ -46,7 +45,7 @@ let boot engine ctx net ~host config =
       k_net = net;
       k_kctx = kctx;
       k_params = config.params;
-      k_cpus = Semaphore.create config.params.Machine.cpus;
+      k_sched = kctx.Kctx.sched;
       k_paging_disk = paging_disk;
       k_tasks = [];
       k_next_task_id = 1;

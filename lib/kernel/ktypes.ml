@@ -4,7 +4,7 @@
     {!Thread} and {!Syscalls}. *)
 
 module Engine = Mach_sim.Engine
-module Semaphore = Mach_sim.Semaphore
+module Sched = Mach_sim.Sched
 module Waitq = Mach_sim.Waitq
 
 type kernel = {
@@ -14,7 +14,9 @@ type kernel = {
   k_net : Mach_hw.Net.t;
   k_kctx : Mach_vm.Kctx.t;
   k_params : Mach_hw.Machine.params;
-  k_cpus : Semaphore.t;  (** processor slots for compute bursts *)
+  k_sched : Sched.t;
+      (** the host's processors (shared with [k_kctx.sched]): per-CPU
+          run queues, soft affinity, work stealing, handoff *)
   k_paging_disk : Mach_hw.Disk.t;
   mutable k_tasks : task list;
   mutable k_next_task_id : int;
@@ -34,6 +36,9 @@ and task = {
   t_space : Mach_ipc.Port_space.t;
   t_node : Mach_ipc.Transport.node;
   mutable t_threads : thread list;
+  t_threads_by_name : (string, thread) Hashtbl.t;
+      (** by-name index over [t_threads]; keeps the per-checkpoint
+          self-lookup O(1) once preemption makes checkpoints hot *)
   mutable t_alive : bool;
   mutable t_port : Mach_ipc.Message.port option;
       (** the kernel port representing this task; messages to it invoke

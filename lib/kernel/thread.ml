@@ -17,6 +17,7 @@ let spawn task ?name body =
   | Some make -> th.th_port <- Some (make th)
   | None -> ());
   task.t_threads <- th :: task.t_threads;
+  Hashtbl.replace task.t_threads_by_name th_name th;
   Engine.spawn k.k_engine ~name:th_name (fun () ->
       body ();
       th.th_done <- true);
@@ -36,8 +37,7 @@ let checkpoint th =
   done
 
 let self_checkpoint task =
-  let me = Engine.self_name () in
-  match List.find_opt (fun th -> th.th_name = me) task.t_threads with
+  match Hashtbl.find_opt task.t_threads_by_name (Engine.self_name ()) with
   | Some th -> checkpoint th
   | None -> ()
 

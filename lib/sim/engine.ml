@@ -62,6 +62,7 @@ type t = {
   mutable live : int;
   suspended : (int, string) Hashtbl.t; (* suspension token -> thread name *)
   mutable next_token : int;
+  mutable anon_count : int; (* per-engine, so names are deterministic *)
   mutable failure : exn option;
 }
 
@@ -73,7 +74,7 @@ type _ Effect.t +=
 
 let create () =
   { now = 0.0; seq = 0; heap = Heap.create (); live = 0;
-    suspended = Hashtbl.create 64; next_token = 0; failure = None }
+    suspended = Hashtbl.create 64; next_token = 0; anon_count = 0; failure = None }
 
 let now t = t.now
 
@@ -82,15 +83,13 @@ let schedule t ~at action =
   t.seq <- t.seq + 1;
   Heap.push t.heap { time = at; seq = t.seq; action }
 
-let anon_count = ref 0
-
 let spawn t ?name f =
   let name =
     match name with
     | Some n -> n
     | None ->
-      incr anon_count;
-      Printf.sprintf "thread-%d" !anon_count
+      t.anon_count <- t.anon_count + 1;
+      Printf.sprintf "thread-%d" t.anon_count
   in
   t.live <- t.live + 1;
   let fiber () =

@@ -1,0 +1,72 @@
+(** Processor scheduler: per-CPU run queues over the discrete-event
+    engine.
+
+    One [t] models the processors of one simulated host. A thread
+    occupies a processor only while inside {!compute}; the burst is
+    sliced into quanta and preempted at slice boundaries when the run
+    queue is contended. Placement is soft-affine (a thread prefers the
+    processor it last ran on), idle processors are taken directly, and
+    a processor going idle steals the oldest waiter from the longest
+    run queue — so no processor idles while a thread is runnable.
+
+    Run-queue dispatches (including preemption resumes) charge the
+    configured context-switch time to the incoming thread; acquiring an
+    idle processor is free.
+
+    Handoff scheduling: {!donate} reserves the caller's processor for a
+    blocked-receiver IPC beneficiary; {!claim_handoff} (from the
+    receive path) binds the reservation to the woken thread, whose next
+    {!compute} then enters with no run-queue round trip and no
+    context-switch charge. Unclaimed reservations expire after one
+    context-switch window and the processor is re-dispatched. *)
+
+type t
+
+type stats = {
+  mutable s_switches : int;  (** run-queue dispatches (each charged context-switch time) *)
+  mutable s_preemptions : int;  (** quantum expiries that yielded the processor *)
+  mutable s_migrations : int;  (** bursts begun on a different CPU than the thread's last *)
+  mutable s_steals : int;  (** idle CPUs that took a waiter from another run queue *)
+  mutable s_handoff_claims : int;  (** bursts entered on a donated processor, charge-free *)
+  mutable s_handoff_expired : int;  (** donations the beneficiary never claimed *)
+  mutable s_affinity_hits : int;  (** direct acquires of the thread's previous CPU *)
+  mutable s_direct_dispatches : int;  (** acquires that found an idle CPU (no queueing) *)
+  mutable s_enqueues : int;  (** acquires that had to wait on a run queue *)
+  mutable s_queue_depth_peak : int;  (** max total queued threads at any enqueue *)
+  mutable s_queue_depth_sum : int;  (** summed depth at enqueue (avg = sum/enqueues) *)
+  mutable s_idle_with_waiter : int;  (** invariant oracle; stays 0 unless stealing is broken *)
+}
+
+val create :
+  Engine.t -> cpus:int -> ?quantum_us:float -> context_switch_us:float -> unit -> t
+(** [quantum_us] defaults to 10ms of simulated time. *)
+
+val compute : t -> float -> unit
+(** Occupy one processor for the given number of simulated
+    microseconds (plus any queueing delay and context-switch charges).
+    Must be called from inside a simulated thread; bursts of zero or
+    negative length return immediately. *)
+
+val donate : t -> int option
+(** Reserve the calling thread's processor (the one it last ran on) for
+    a handoff, if it is currently idle. Returns a ticket for
+    {!claim_handoff}, or [None] if the processor is busy. *)
+
+val claim_handoff : t -> ticket:int -> name:string -> unit
+(** Bind a live reservation to thread [name]; its next {!compute}
+    enters on the donated processor without queueing or switch charge.
+    Expired or unknown tickets are ignored. *)
+
+val cpu_count : t -> int
+val stats : t -> stats
+val stats_to_list : stats -> (string * int) list
+
+val busy_us : t -> float
+(** Total processor-busy time accumulated across all CPUs (compute
+    slices plus charged context switches). Utilisation over a window of
+    elapsed time [e] on [n] CPUs is [busy_us / (n * e)]. *)
+
+val queued : t -> int
+(** Threads currently waiting on run queues. *)
+
+val idle_cpus : t -> int

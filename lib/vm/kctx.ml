@@ -1,5 +1,6 @@
 open Vm_types
 module Engine = Mach_sim.Engine
+module Sched = Mach_sim.Sched
 module Waitq = Mach_sim.Waitq
 module Phys_mem = Mach_hw.Phys_mem
 module Pmap = Mach_hw.Pmap
@@ -10,6 +11,7 @@ type t = {
   ctx : Mach_ipc.Context.t;
   host : int;
   params : Mach_hw.Machine.params;
+  sched : Sched.t;
   mem : Phys_mem.t;
   page_size : int;
   node : Mach_ipc.Transport.node;
@@ -88,7 +90,10 @@ let free_frame t f =
   Phys_mem.free t.mem f;
   Waitq.broadcast t.free_wait
 
-let charge _t us = if us > 0.0 then Engine.sleep us
+(* Every CPU cost in the VM layer — fault service, map operations,
+   page copies, the pageout daemon's accounting — occupies one of the
+   host's processors for its duration. *)
+let charge t us = if us > 0.0 then Sched.compute t.sched us
 
 (* The fallback terminator releases resident pages but knows nothing of
    pager ports; Pager_client installs the full version at boot. *)
@@ -113,11 +118,17 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
     | Some r -> r
     | None -> max 2 (Phys_mem.total_frames mem / 50)
   in
+  let sched =
+    Sched.create engine ~cpus:params.Mach_hw.Machine.cpus
+      ~quantum_us:params.Mach_hw.Machine.quantum_us
+      ~context_switch_us:params.Mach_hw.Machine.context_switch_us ()
+  in
   {
     engine;
     ctx;
     host;
     params;
+    sched;
     mem;
     page_size = Phys_mem.page_size mem;
     node =
@@ -126,6 +137,8 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
         node_params = params;
         node_page_size = Phys_mem.page_size mem;
         node_stats = Mach_ipc.Transport.fresh_ipc_stats ();
+        node_sched = Some sched;
+        node_handoff_enabled = true;
       };
     kspace = Port_space.create ctx ~home:host;
     queues = Page_queues.create ();

@@ -13,6 +13,9 @@ type t = {
   ctx : Mach_ipc.Context.t;
   host : int;
   params : Mach_hw.Machine.params;
+  sched : Mach_sim.Sched.t;
+      (** the host's processors: every {!charge} occupies one for its
+          duration, so kernel work contends, migrates and scales *)
   mem : Mach_hw.Phys_mem.t;
   page_size : int;
   node : Mach_ipc.Transport.node;  (** the kernel's IPC node identity *)
@@ -99,4 +102,6 @@ val free_low_watermark : t -> int
 val need_pageout : t -> bool
 
 val charge : t -> float -> unit
-(** Advance simulated time by a CPU cost on the calling thread. *)
+(** Occupy one of the host's processors for a CPU cost on the calling
+    thread (queueing behind other runnable threads when all processors
+    are busy). *)

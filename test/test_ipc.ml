@@ -24,6 +24,8 @@ let node ?(host = 0) () =
     node_params = Machine.uniprocessor;
     node_page_size = 4096;
     node_stats = Transport.fresh_ipc_stats ();
+    node_sched = None;
+    node_handoff_enabled = true;
   }
 
 let data s = Message.Data (Bytes.of_string s)
