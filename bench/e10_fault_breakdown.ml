@@ -5,6 +5,7 @@
 open Mach
 open Common
 module Mos = Memory_object_server
+module Rt = Pager_runtime
 
 let page = 4096
 
@@ -49,19 +50,19 @@ let run_body ~rounds =
              in
              Ivar.fill cow_done cow_us));
       let cow_us = Ivar.read cow_done in
-      (* External pager faults: a prompt user-level manager. *)
+      (* External pager faults: a prompt user-level manager — a
+         one-line runtime policy serving constant pages. *)
       let mgr_task = Task.create kernel ~name:"prompt-mgr" () in
-      let callbacks =
+      let prompt_policy =
         {
-          Mos.no_callbacks with
-          Mos.on_data_request =
-            (fun srv ~memory_object:_ ~request ~offset ~length:_ ~desired_access:_ ->
-              Mos.data_provided srv ~request ~offset ~data:(Bytes.make page 'e')
-                ~lock_value:Prot.none);
+          Rt.default_policy with
+          Rt.p_read =
+            (fun _ _ ~request:_ ~page:_ ~desired_access:_ -> Rt.Data (Bytes.make page 'e'));
         }
       in
-      let srv = Mos.start mgr_task callbacks in
+      let prompt_rt, srv = Rt.serve mgr_task prompt_policy in
       let memory_object = Mos.create_memory_object srv () in
+      ignore (Rt.register prompt_rt ~memory_object ());
       let ext_addr =
         Syscalls.vm_allocate_with_pager task ~size:(rounds * page) ~anywhere:true ~memory_object
           ~offset:0 ()
@@ -79,24 +80,22 @@ let run_body ~rounds =
          them from the manager. *)
       let wb_mgr = Task.create kernel ~name:"laundry-mgr" () in
       let wb_request = Ivar.create () in
-      let wb_callbacks =
+      let wb_policy =
         {
-          Mos.no_callbacks with
-          Mos.on_init = (fun _ ~memory_object:_ ~request ~name:_ -> Ivar.fill wb_request request);
-          Mos.on_data_request =
-            (fun srv ~memory_object:_ ~request ~offset ~length ~desired_access:_ ->
-              Mos.data_provided srv ~request ~offset ~data:(Bytes.make length 'w')
-                ~lock_value:Prot.none);
-          Mos.on_data_write =
-            (fun _ ~memory_object:_ ~offset:_ ~data:_ ~release ->
+          Rt.default_policy with
+          Rt.p_init = (fun _ _ ~request -> Ivar.fill wb_request request);
+          Rt.p_read =
+            (fun _ _ ~request:_ ~page:_ ~desired_access:_ -> Rt.Data (Bytes.make page 'w'));
+          Rt.p_prepare_write =
+            (fun _ _ ~offset:_ ~data:_ ->
               (* Sit on the data long enough for refaults to land while
                  the run's data_write is outstanding. *)
-              Engine.sleep 3000.0;
-              release ());
+              Engine.sleep 3000.0);
         }
       in
-      let wb_srv = Mos.start wb_mgr wb_callbacks in
+      let wb_rt, wb_srv = Rt.serve wb_mgr wb_policy in
       let wb_object = Mos.create_memory_object wb_srv () in
+      ignore (Rt.register wb_rt ~memory_object:wb_object ());
       let wb_addr =
         Syscalls.vm_allocate_with_pager task ~size:(rounds * page) ~anywhere:true
           ~memory_object:wb_object ~offset:0 ()
@@ -105,7 +104,7 @@ let run_body ~rounds =
         ignore (ok_exn "wb-dirty" (Syscalls.touch task ~addr:(wb_addr + (i * page)) ~write:true ()))
       done;
       let wb_req = Ivar.read wb_request in
-      Mos.clean_request wb_srv ~request:wb_req ~offset:0 ~length:(rounds * page);
+      Rt.clean_request wb_rt ~request:wb_req ~offset:0 ~length:(rounds * page);
       (* Let the kernel launder the runs, then refault mid-clean. *)
       Engine.sleep 500.0;
       let (), wb_us =
@@ -136,10 +135,14 @@ let run_body ~rounds =
           ("external pager fault (IPC round trip to manager)", per ext_us);
           ("refault during clean (absorbed by laundry queue)", per wb_us);
         ],
-        counters ))
+        counters,
+        [
+          ("prompt-mgr", Rt.Stats.to_list (Rt.stats prompt_rt));
+          ("laundry-mgr", Rt.Stats.to_list (Rt.stats wb_rt));
+        ] ))
 
 let run () =
-  let rows, counters = run_body ~rounds:50 in
+  let rows, counters, pager_stats = run_body ~rounds:50 in
   let t =
     Table.create ~title:"E10: fault-path cost breakdown (Section 5.5)"
       ~columns:[ "fault type"; "simulated us per fault" ]
@@ -152,7 +155,16 @@ let run () =
       ~columns:[ "counter"; "count" ]
   in
   List.iter (fun (k, v) -> Table.row c [ k; string_of_int v ]) counters;
-  [ t; c ]
+  (* The uniform per-pager stats block for the managers this experiment
+     booted — requests, pages served, writes — through the runtime. *)
+  let s =
+    Table.create ~title:"E10: per-pager runtime stats"
+      ~columns:("manager" :: List.map fst (snd (List.hd pager_stats)))
+  in
+  List.iter
+    (fun (name, stats) -> Table.row s (name :: List.map (fun (_, v) -> string_of_int v) stats))
+    pager_stats;
+  [ t; c; s ]
 
 let experiment =
   {

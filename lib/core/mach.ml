@@ -48,6 +48,7 @@ module Default_pager = Mach_kernel.Default_pager
 module Name_server = Mach_kernel.Name_server
 module Task_server = Mach_kernel.Task_server
 module Memory_object_server = Memory_object_server
+module Pager_runtime = Pager_runtime
 
 type task = Ktypes.task
 type kernel = Ktypes.kernel

@@ -9,6 +9,7 @@ module Pager_iface = Mach_vm.Pager_iface
 type t = {
   srv_task : task;
   mutable running : bool;
+  mutable on_send_error : (unit -> unit) option;
 }
 
 type callbacks = {
@@ -41,10 +42,16 @@ type callbacks = {
 
 let task t = t.srv_task
 
+(* A failed reply is not ignorable: the kernel side it was meant for is
+   gone (its request port died), and a manager that counts on the reply
+   arriving would wait forever. Route the failure to the server's hook —
+   the pager runtime counts it as a dropped reply. *)
+let set_send_error_hook t f = t.on_send_error <- Some f
+
 let send t msg =
   match Syscalls.msg_send t.srv_task msg with
   | Ok () -> ()
-  | Error _ -> () (* the kernel's ports do not die while objects live *)
+  | Error _ -> ( match t.on_send_error with Some f -> f () | None -> ())
 
 let m2k t call ~request = send t (Pager_iface.encode_m2k call ~request)
 
@@ -113,7 +120,7 @@ let dispatch t cb (msg : Message.t) =
     cb.on_lock_completed t ~memory_object ~request:msg.Message.header.reply ~offset ~length
 
 let start ?(service_threads = 1) srv_task cb =
-  let t = { srv_task; running = true } in
+  let t = { srv_task; running = true; on_send_error = None } in
   for i = 1 to service_threads do
     Engine.spawn srv_task.t_kernel.k_engine
       ~name:(Printf.sprintf "%s.pager-service-%d" srv_task.t_name i)

@@ -72,6 +72,11 @@ val create_memory_object : t -> ?backlog:int -> unit -> Message.port
 val stop : t -> unit
 (** Ask the service loops to exit at the next message. *)
 
+val set_send_error_hook : t -> (unit -> unit) -> unit
+(** Called whenever a manager→kernel send fails (the kernel-side
+    request port died); the pager runtime counts these as dropped
+    replies instead of silently discarding them. *)
+
 (** {2 Table 3-6 calls (manager → kernel)} *)
 
 val data_provided :

@@ -4,22 +4,25 @@ module Port_space = Mach_ipc.Port_space
 module Message = Mach_ipc.Message
 module Transport = Mach_ipc.Transport
 module Disk = Mach_hw.Disk
-module Prot = Mach_hw.Prot
 module Kctx = Mach_vm.Kctx
 module Pager_iface = Mach_vm.Pager_iface
+module Rt = Mach_vm.Pager_runtime
 
-type managed = {
-  request : Message.port;  (** where our manager→kernel calls go *)
-  blocks : (int, int) Hashtbl.t;  (** object offset → disk block *)
-  memory_object : Message.port;
-}
+(* The default pager is a policy module over the shared pager runtime,
+   like every other manager — the runtime owns the object registry and
+   the request/write splitting; this file only maps pages to paging-disk
+   blocks. It differs from the user-level managers in transport alone:
+   being part of the kernel image it pumps its own receive loop instead
+   of going through [Memory_object_server]. *)
+
+type managed = { blocks : (int, int) Hashtbl.t  (** object offset → disk block *) }
 
 type t = {
   kctx : Kctx.t;
   disk : Disk.t;
   space : Port_space.t;
   node : Transport.node;
-  objects : (int, managed) Hashtbl.t;  (** memory-object port id → state *)
+  rt : managed Rt.t;
   free_blocks : int Queue.t;
   mutable stored : int;
 }
@@ -29,22 +32,53 @@ let alloc_block t =
   | Some b -> b
   | None -> failwith "default pager: paging disk full"
 
-let send t msg =
-  Engine.spawn t.kctx.Kctx.engine ~name:"default-pager-send" (fun () ->
-      match Transport.send t.node msg with Ok () | Error _ -> ())
-
 (* Paging blocks of a dead object go back to the free pool. *)
-let release_blocks t object_port_id =
-  match Hashtbl.find_opt t.objects object_port_id with
-  | None -> ()
-  | Some m ->
-    Hashtbl.iter
-      (fun _ block ->
-        t.stored <- t.stored - 1;
-        Queue.add block t.free_blocks)
-      m.blocks;
-    Hashtbl.reset m.blocks;
-    Hashtbl.remove t.objects object_port_id
+let release_blocks t (o : managed Rt.obj) =
+  Hashtbl.iter
+    (fun _ block ->
+      t.stored <- t.stored - 1;
+      Queue.add block t.free_blocks)
+    o.Rt.o_data.blocks;
+  Hashtbl.reset o.Rt.o_data.blocks;
+  Rt.unregister t.rt o
+
+let policy get =
+  {
+    Rt.default_policy with
+    Rt.p_read =
+      (fun rt o ~request:_ ~page ~desired_access:_ ->
+        let t = get () in
+        let ps = Rt.page_size rt in
+        match Hashtbl.find_opt o.Rt.o_data.blocks (page * ps) with
+        | Some block ->
+          let data = Disk.read t.disk ~block in
+          Rt.Data (Bytes.sub data 0 (min ps (Bytes.length data)))
+        | None ->
+          (* Never paged out: the kernel zero-fills. *)
+          Rt.Unavailable);
+    p_write =
+      (fun rt o ~page ~data ->
+        let t = get () in
+        let off = page * Rt.page_size rt in
+        let block =
+          match Hashtbl.find_opt o.Rt.o_data.blocks off with
+          | Some b -> b
+          | None ->
+            let b = alloc_block t in
+            Hashtbl.replace o.Rt.o_data.blocks off b;
+            t.stored <- t.stored + 1;
+            b
+        in
+        Disk.write t.disk ~block data);
+    p_death = (fun _ o _ -> release_blocks (get ()) o);
+  }
+
+let adopt t ~memory_object ~request =
+  (* When the kernel terminates the object it destroys the request
+     port; reclaim this object's paging blocks at that point. *)
+  ignore (Port.on_death request (fun () -> Rt.handle_port_death t.rt request));
+  let o = Rt.register t.rt ~memory_object { blocks = Hashtbl.create 16 } in
+  Rt.add_request o request
 
 let handle t (msg : Message.t) =
   match Pager_iface.decode_k2m msg with
@@ -52,111 +86,61 @@ let handle t (msg : Message.t) =
   | Pager_iface.Create { new_memory_object; request; name = _; size = _ } ->
     let name_in_space = Port_space.insert t.space new_memory_object Message.Receive_right in
     Port_space.enable t.space name_in_space;
-    (* When the kernel terminates the object it destroys the request
-       port; reclaim this object's paging blocks at that point. *)
-    ignore
-      (Port.on_death request (fun () -> release_blocks t (Port.id new_memory_object)));
-    Hashtbl.replace t.objects (Port.id new_memory_object)
-      { request; blocks = Hashtbl.create 16; memory_object = new_memory_object }
+    adopt t ~memory_object:new_memory_object ~request
   | Pager_iface.Init { memory_object; request; name = _ } ->
     (* A default pager can also be used as an ordinary manager. *)
-    ignore (Port.on_death request (fun () -> release_blocks t (Port.id memory_object)));
-    Hashtbl.replace t.objects (Port.id memory_object)
-      { request; blocks = Hashtbl.create 16; memory_object }
-  | Pager_iface.Data_request { memory_object; request; offset; length; desired_access = _ } -> (
-    match Hashtbl.find_opt t.objects (Port.id memory_object) with
-    | None -> ()
-    | Some m ->
-      (* The kernel may ask for several pages at once (cluster-in).
-         Walk the requested range page by page, coalescing adjacent
-         stored pages into one Data_provided and adjacent holes into
-         one Data_unavailable, so the reply traffic stays proportional
-         to the number of runs, not pages. *)
-      let ps = t.kctx.Kctx.page_size in
-      let npages = max 1 ((length + ps - 1) / ps) in
-      let flush_hole ~start ~stop =
-        if stop > start then
-          send t
-            (Pager_iface.encode_m2k
-               (Pager_iface.Data_unavailable { offset = start; size = stop - start })
-               ~request)
-      in
-      let flush_run ~start chunks =
-        match chunks with
-        | [] -> ()
-        | _ ->
-          let data = Bytes.concat Bytes.empty (List.rev chunks) in
-          send t
-            (Pager_iface.encode_m2k
-               (Pager_iface.Data_provided { offset = start; data; lock_value = Prot.none })
-               ~request)
-      in
-      let run_start = ref offset and run = ref [] in
-      let hole_start = ref offset in
-      for i = 0 to npages - 1 do
-        let off = offset + (i * ps) in
-        match Hashtbl.find_opt m.blocks off with
-        | Some block ->
-          flush_hole ~start:!hole_start ~stop:off;
-          hole_start := off + ps;
-          if !run = [] then run_start := off;
-          let data = Disk.read t.disk ~block in
-          run := Bytes.sub data 0 (min ps (Bytes.length data)) :: !run
-        | None ->
-          (* Never paged out: the kernel zero-fills. *)
-          flush_run ~start:!run_start !run;
-          run := []
-      done;
-      flush_run ~start:!run_start !run;
-      flush_hole ~start:!hole_start ~stop:(offset + (npages * ps)))
-  | Pager_iface.Data_write { memory_object; offset; data; write_id } -> (
-    match Hashtbl.find_opt t.objects (Port.id memory_object) with
-    | None -> (
-      (* Object already gone (terminated while this write was in
-         flight): the data is dead, but the kernel's holding frame must
-         still be released. *)
+    adopt t ~memory_object ~request
+  | Pager_iface.Data_request { memory_object; request; offset; length; desired_access } ->
+    Rt.handle_data_request t.rt ~memory_object ~request ~offset ~length ~desired_access
+  | Pager_iface.Data_write { memory_object; offset; data; write_id } ->
+    (* Route the release to the kernel that shipped the run; an object
+       already gone (terminated mid-write) still releases so the
+       kernel's holding frames come back promptly (§6.2.2). *)
+    let target =
       match msg.Message.header.reply with
-      | Some request ->
-        send t (Pager_iface.encode_m2k (Pager_iface.Release_write { write_id }) ~request)
-      | None -> ())
-    | Some m ->
-      (* A write may carry a whole run of adjacent pages: store one
-         block per page, then release the entire run with one
-         Release_write (§6.2.2). *)
-      let ps = t.kctx.Kctx.page_size in
-      let npages = max 1 ((Bytes.length data + ps - 1) / ps) in
-      for i = 0 to npages - 1 do
-        let off = offset + (i * ps) in
-        let block =
-          match Hashtbl.find_opt m.blocks off with
-          | Some b -> b
-          | None ->
-            let b = alloc_block t in
-            Hashtbl.replace m.blocks off b;
-            t.stored <- t.stored + 1;
-            b
-        in
-        let len = min ps (Bytes.length data - (i * ps)) in
-        Disk.write t.disk ~block (Bytes.sub data (i * ps) len)
-      done;
-      (* Promptly release the kernel's holding frames (§6.2.2). *)
-      send t (Pager_iface.encode_m2k (Pager_iface.Release_write { write_id }) ~request:m.request))
-  | Pager_iface.Data_unlock _ | Pager_iface.Lock_completed _ -> ()
+      | Some r -> Some r
+      | None -> (
+        match Rt.find t.rt memory_object with
+        | Some o -> ( match Rt.requests o with r :: _ -> Some r | [] -> None)
+        | None -> None)
+    in
+    let release =
+      match target with
+      | Some request -> fun () -> Rt.release_write t.rt ~request ~write_id
+      | None -> fun () -> ()
+    in
+    Rt.handle_data_write t.rt ~memory_object ~offset ~data ~release
+  | Pager_iface.Data_unlock { memory_object; request; offset; length; desired_access } ->
+    Rt.handle_data_unlock t.rt ~memory_object ~request ~offset ~length ~desired_access
+  | Pager_iface.Lock_completed { memory_object; offset; length } ->
+    Rt.handle_lock_completed t.rt ~memory_object ~request:msg.Message.header.reply ~offset
+      ~length
 
 let start kctx ~disk =
   let ctx = kctx.Kctx.ctx in
   let space = Port_space.create ctx ~home:kctx.Kctx.host in
-  let t =
-    {
-      kctx;
-      disk;
-      space;
-      node = kctx.Kctx.node;
-      objects = Hashtbl.create 32;
-      free_blocks = Queue.create ();
-      stored = 0;
-    }
+  let node = kctx.Kctx.node in
+  (* Replies must not block the pager loop; a full queue retries in a
+     detached thread, a dead port is a dropped reply the runtime
+     counts. *)
+  let send msg =
+    match Transport.send node ~timeout:0.0 msg with
+    | Ok () -> Ok ()
+    | Error Transport.Send_timed_out ->
+      Engine.spawn kctx.Kctx.engine ~name:"default-pager-send" (fun () ->
+          match Transport.send node msg with Ok () | Error _ -> ());
+      Ok ()
+    | Error Transport.Send_invalid_port -> Error ()
   in
+  let t_ref = ref None in
+  let get () = match !t_ref with Some t -> t | None -> assert false in
+  let rt =
+    Rt.create ~name:"default-pager" ~page_size:kctx.Kctx.page_size ~send (policy get)
+  in
+  let t =
+    { kctx; disk; space; node; rt; free_blocks = Queue.create (); stored = 0 }
+  in
+  t_ref := Some t;
   for b = 0 to Disk.blocks disk - 1 do
     Queue.add b t.free_blocks
   done;
@@ -193,6 +177,7 @@ let start kctx ~disk =
       loop ());
   t
 
-let objects_managed t = Hashtbl.length t.objects
+let objects_managed t = Rt.objects t.rt
 let pages_stored t = t.stored
 let blocks_free t = Queue.length t.free_blocks
+let runtime_stats t = Rt.stats t.rt

@@ -19,3 +19,6 @@ val start : Mach_vm.Kctx.t -> disk:Mach_hw.Disk.t -> t
 val objects_managed : t -> int
 val pages_stored : t -> int
 val blocks_free : t -> int
+
+val runtime_stats : t -> Mach_vm.Pager_runtime.Stats.t
+(** The shared per-pager counters (requests, pages served, …). *)

@@ -142,10 +142,11 @@ end
 
 (* ---- server ------------------------------------------------------------ *)
 
+module Rt = Mach.Pager_runtime
+
 type segment = {
   sg_name : string;
   mutable sg_size : int;
-  sg_object : Message.port;
   mutable sg_mapping : int option;  (** server's own mapping, for undo *)
   sg_page_lsn : (int, int) Hashtbl.t;  (** page index → latest update LSN *)
 }
@@ -153,13 +154,13 @@ type segment = {
 type txn = { tx_id : tid; mutable tx_updates : (string * int * bytes) list (* seg, off, old *); mutable tx_open : bool }
 
 type t = {
+  rt : segment Rt.t;
   srv : Mos.t;
   service : Message.port;
   log : Log.t;
   fs : Fs_layout.t;  (** data disk *)
   page_size : int;
-  by_object : (int, segment) Hashtbl.t;
-  by_name : (string, segment) Hashtbl.t;
+  by_name : (string, segment Rt.obj) Hashtbl.t;
   txns : (tid, txn) Hashtbl.t;
   mutable next_tid : int;
   mutable wal_violations : int;
@@ -172,6 +173,7 @@ let log_forces t = t.log.Log.forces
 let wal_violations t = t.wal_violations
 let recovered_redo t = t.recovered_redo
 let recovered_undo t = t.recovered_undo
+let runtime_stats t = Rt.stats t.rt
 
 let id_map_segment = 3201
 let id_begin = 3202
@@ -182,88 +184,97 @@ let id_reply = 3290
 
 let get_segment t name ~size =
   match Hashtbl.find_opt t.by_name name with
-  | Some s ->
+  | Some o ->
+    let s = o.Rt.o_data in
     if size > s.sg_size then s.sg_size <- size;
-    s
+    o
   | None ->
     Fs_layout.create t.fs name;
     let sg_object = Mos.create_memory_object t.srv () in
-    let s =
-      { sg_name = name; sg_size = size; sg_object; sg_mapping = None; sg_page_lsn = Hashtbl.create 32 }
-    in
-    Hashtbl.replace t.by_object (Port.id sg_object) s;
-    Hashtbl.replace t.by_name name s;
-    s
+    let s = { sg_name = name; sg_size = size; sg_mapping = None; sg_page_lsn = Hashtbl.create 32 } in
+    let o = Rt.register t.rt ~memory_object:sg_object s in
+    Hashtbl.replace t.by_name name o;
+    o
 
-(* --- pager side --------------------------------------------------------- *)
+let segment_object t name ~size = (get_segment t name ~size).Rt.o_port
 
-let on_data_request t ~memory_object ~request ~offset ~length ~desired_access:_ =
-  match Hashtbl.find_opt t.by_object (Port.id memory_object) with
-  | None -> ()
-  | Some seg -> (
-    let bs = Fs_layout.block_size t.fs in
-    match Fs_layout.read_block t.fs seg.sg_name ~index:(offset / bs) with
-    | Some data -> Mos.data_provided t.srv ~request ~offset ~data ~lock_value:Prot.none
-    | None ->
-      (* Never written: zero-fill. *)
-      Mos.data_unavailable t.srv ~request ~offset ~size:length)
+(* --- pager policy --------------------------------------------------------
+   The runtime owns the request/write splitting; camelot contributes the
+   recoverable-storage policy: pages live on the data disk, and the §8.3
+   write-ahead rule is enforced once per write run. *)
 
 (* The §8.3 rule: log records first, then the pages. A write may carry a
    run of adjacent pages; the log is forced ONCE, to the highest LSN any
    page in the run carries, before any of them reaches the data disk —
    run-sized writes amortise the force as well as the message. *)
-let on_data_write t ~memory_object ~offset ~data ~release =
-  match Hashtbl.find_opt t.by_object (Port.id memory_object) with
-  | None -> release ()
-  | Some seg ->
-    let ps = t.page_size in
-    let first_idx = offset / ps in
-    let npages = max 1 ((Bytes.length data + ps - 1) / ps) in
-    let need = ref 0 in
-    for i = 0 to npages - 1 do
-      let lsn = Option.value ~default:0 (Hashtbl.find_opt seg.sg_page_lsn (first_idx + i)) in
-      if lsn > !need then need := lsn
-    done;
-    if t.log.Log.forced_lsn < !need then Log.force t.log ~upto:!need;
-    if t.log.Log.forced_lsn < !need then t.wal_violations <- t.wal_violations + 1;
-    for i = 0 to npages - 1 do
-      let len = min ps (Bytes.length data - (i * ps)) in
-      Fs_layout.write_block t.fs seg.sg_name ~index:(first_idx + i) (Bytes.sub data (i * ps) len)
-    done;
-    release ()
+let prepare_write t seg ~offset ~data =
+  let ps = t.page_size in
+  let first_idx = offset / ps in
+  let npages = max 1 ((Bytes.length data + ps - 1) / ps) in
+  let need = ref 0 in
+  for i = 0 to npages - 1 do
+    let lsn = Option.value ~default:0 (Hashtbl.find_opt seg.sg_page_lsn (first_idx + i)) in
+    if lsn > !need then need := lsn
+  done;
+  if t.log.Log.forced_lsn < !need then Log.force t.log ~upto:!need;
+  if t.log.Log.forced_lsn < !need then t.wal_violations <- t.wal_violations + 1
+
+let policy get =
+  {
+    Rt.default_policy with
+    Rt.p_read =
+      (fun rt o ~request:_ ~page ~desired_access:_ ->
+        let t = get () in
+        let seg = o.Rt.o_data in
+        let ps = Rt.page_size rt in
+        let bs = Fs_layout.block_size t.fs in
+        let first = page * ps / bs in
+        let last = ((page * ps) + ps - 1) / bs in
+        let any_stored = ref false in
+        for i = first to last do
+          if Fs_layout.read_block t.fs seg.sg_name ~index:i <> None then any_stored := true
+        done;
+        if not !any_stored then Rt.Unavailable (* never written: zero-fill *)
+        else
+          Rt.Data
+            (Rt.Blocks.read_range ~block_size:bs
+               ~read:(fun ~index -> Fs_layout.read_block t.fs seg.sg_name ~index)
+               ~offset:(page * ps) ~len:ps));
+    p_prepare_write =
+      (fun _ o ~offset ~data -> prepare_write (get ()) o.Rt.o_data ~offset ~data);
+    p_write =
+      (fun rt o ~page ~data ->
+        let t = get () in
+        if Bytes.length data > 0 then
+          Rt.Blocks.write_range
+            ~block_size:(Fs_layout.block_size t.fs)
+            ~read:(fun ~index -> Fs_layout.read_block t.fs o.Rt.o_data.sg_name ~index)
+            ~write:(fun ~index b -> Fs_layout.write_block t.fs o.Rt.o_data.sg_name ~index b)
+            ~offset:(page * Rt.page_size rt) ~data);
+  }
 
 (* --- transactions ------------------------------------------------------- *)
 
 (* Apply an update to the data disk, splitting across block boundaries
    (log records may straddle pages). *)
 let apply_to_disk t ~segment ~offset data =
-  let bs = Fs_layout.block_size t.fs in
-  let len = Bytes.length data in
-  let pos = ref 0 in
-  while !pos < len do
-    let off = offset + !pos in
-    let idx = off / bs in
-    let in_block = min (len - !pos) (bs - (off mod bs)) in
-    let block =
-      match Fs_layout.read_block t.fs segment ~index:idx with
-      | Some b -> b
-      | None -> Bytes.make bs '\000'
-    in
-    Bytes.blit data !pos block (off mod bs) in_block;
-    Fs_layout.write_block t.fs segment ~index:idx block;
-    pos := !pos + in_block
-  done
+  Rt.Blocks.write_range
+    ~block_size:(Fs_layout.block_size t.fs)
+    ~read:(fun ~index -> Fs_layout.read_block t.fs segment ~index)
+    ~write:(fun ~index b -> Fs_layout.write_block t.fs segment ~index b)
+    ~offset ~data
 
 (* Undo through the server's own mapping so every cached copy sees it;
    §6.1's advice applies — this runs on a worker thread while the
    service thread stays free to answer the resulting data requests. *)
-let server_mapping t seg =
+let server_mapping t (o : segment Rt.obj) =
+  let seg = o.Rt.o_data in
   match seg.sg_mapping with
   | Some addr -> addr
   | None ->
     let addr =
       Syscalls.vm_allocate_with_pager (server_task t) ~size:seg.sg_size ~anywhere:true
-        ~memory_object:seg.sg_object ~offset:0 ()
+        ~memory_object:o.Rt.o_port ~offset:0 ()
     in
     seg.sg_mapping <- Some addr;
     addr
@@ -312,12 +323,12 @@ let on_other t (msg : Message.t) =
       if id = id_map_segment then begin
         let name = Codec.Dec.string d in
         let size = Codec.Dec.int d in
-        let seg = get_segment t name ~size in
+        let o = get_segment t name ~size in
         reply_to t msg
           [
             status_item true "";
-            Message.Caps [ { Message.cap_port = seg.sg_object; cap_right = Message.Send_right } ];
-            int_item seg.sg_size;
+            Message.Caps [ { Message.cap_port = o.Rt.o_port; cap_right = Message.Send_right } ];
+            int_item o.Rt.o_data.sg_size;
           ]
       end
       else if id = id_begin then begin
@@ -343,7 +354,7 @@ let on_other t (msg : Message.t) =
           let first = offset / t.page_size in
           let last = (offset + Bytes.length new_v - 1) / t.page_size in
           for p = first to last do
-            Hashtbl.replace seg.sg_page_lsn p lsn
+            Hashtbl.replace seg.Rt.o_data.sg_page_lsn p lsn
           done;
           reply_to t msg [ status_item true "" ]
         | Some _, Some _ -> reply_to t msg [ status_item false "transaction closed" ]
@@ -429,28 +440,18 @@ let start kernel ?(name = "camelot") ~log_disk ~data_disk ~format () =
   let service = Port_space.lookup_exn (Task.space srv_task) service_name in
   let t_ref = ref None in
   let get () = match !t_ref with Some t -> t | None -> assert false in
-  let callbacks =
-    {
-      Mos.no_callbacks with
-      Mos.on_data_request =
-        (fun _ ~memory_object ~request ~offset ~length ~desired_access ->
-          on_data_request (get ()) ~memory_object ~request ~offset ~length ~desired_access);
-      Mos.on_data_write =
-        (fun _ ~memory_object ~offset ~data ~release ->
-          on_data_write (get ()) ~memory_object ~offset ~data ~release);
-      Mos.on_other = (fun _ msg -> on_other (get ()) msg);
-    }
+  let rt, srv =
+    Rt.serve ~on_other:(fun _rt _srv msg -> on_other (get ()) msg) srv_task (policy get)
   in
-  let srv = Mos.start srv_task callbacks in
   let fs = if format then Fs_layout.format data_disk ~max_files:128 else Fs_layout.mount data_disk in
   let t =
     {
+      rt;
       srv;
       service;
       log = Log.create log_disk;
       fs;
       page_size = kernel.Mach_kernel.Ktypes.k_kctx.Mach_vm.Kctx.page_size;
-      by_object = Hashtbl.create 16;
       by_name = Hashtbl.create 16;
       txns = Hashtbl.create 32;
       next_tid = 1;
@@ -466,19 +467,10 @@ let start kernel ?(name = "camelot") ~log_disk ~data_disk ~format () =
 let service_port t = t.service
 
 let segment_bytes t name ~off ~len =
-  let bs = Fs_layout.block_size t.fs in
-  let out = Bytes.make len '\000' in
-  let first = off / bs in
-  let last = (off + len - 1) / bs in
-  for i = first to last do
-    (match Fs_layout.read_block t.fs name ~index:i with
-    | Some b ->
-      let lo = max off (i * bs) in
-      let hi = min (off + len) ((i + 1) * bs) in
-      Bytes.blit b (lo - (i * bs)) out (lo - off) (hi - lo)
-    | None -> ())
-  done;
-  out
+  Rt.Blocks.read_range
+    ~block_size:(Fs_layout.block_size t.fs)
+    ~read:(fun ~index -> Fs_layout.read_block t.fs name ~index)
+    ~offset:off ~len
 
 module Client = struct
   type error = [ `Server_error of string | `Ipc_failure | `Memory of Mach_vm.Access.error ]

@@ -43,6 +43,14 @@ val wal_violations : t -> int
 
 val recovered_redo : t -> int
 val recovered_undo : t -> int
+
+val segment_object : t -> string -> size:int -> Mach_ipc.Message.port
+(** The segment's memory-object port (creating the segment if needed) —
+    conformance tests drive the pager protocol on it directly. *)
+
+val runtime_stats : t -> Mach_vm.Pager_runtime.Stats.t
+(** The shared per-pager counters (requests, pages served, …). *)
+
 val segment_bytes : t -> string -> off:int -> len:int -> bytes
 (** Direct (uncharged) view of the data disk for tests. *)
 

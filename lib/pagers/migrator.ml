@@ -1,13 +1,12 @@
 open Mach_kernel.Ktypes
 module Message = Mach_ipc.Message
-module Port = Mach_ipc.Port
-module Prot = Mach_hw.Prot
 module Engine = Mach_sim.Engine
 module Task = Mach_kernel.Task
 module Syscalls = Mach_kernel.Syscalls
 module Vm_map = Mach_vm.Vm_map
 module Access = Mach_vm.Access
 module Mos = Mach.Memory_object_server
+module Rt = Mach.Pager_runtime
 
 type strategy = Eager_copy | Copy_on_reference | Pre_paging of int
 type migration = { mg_task : task; mg_freeze_us : float }
@@ -20,66 +19,69 @@ type backed_region = {
 }
 
 type t = {
+  rt : backed_region Rt.t;
   srv : Mos.t;
-  regions : (int, backed_region) Hashtbl.t;  (** memory-object port id → source region *)
-  mutable shipped : int;
+  mutable shipped : int;  (** eager pages; demand pages are counted by the runtime *)
   mutable sources : (migration * task) list;
 }
 
 let server_task t = Mos.task t.srv
-let pages_transferred t = t.shipped
+let runtime_stats t = Rt.stats t.rt
+
+let pages_transferred t =
+  t.shipped + (Rt.stats t.rt).Rt.Stats.s_pages_served
 
 let page_size_of task =
   (Task.kernel task).Mach_kernel.Ktypes.k_kctx.Mach_vm.Kctx.page_size
 
-(* Serve one demand fault: read the frozen source pages and provide
-   them. Pre-paging ships extra trailing pages in the same reply
-   ("advanced data managers may provide more data than requested"). *)
-let on_data_request t ~memory_object ~request ~offset ~length ~desired_access:_ =
-  match Hashtbl.find_opt t.regions (Port.id memory_object) with
-  | None -> ()
-  | Some br ->
-    let ps = page_size_of br.br_src in
-    (* The kernel may ask for a multi-page cluster, but how much data
-       actually crosses the network is this manager's policy: migration
-       pays per page shipped, so copy-on-reference serves exactly the
-       demanded page (the kernel re-requests a clustered neighbor if it
-       is ever truly referenced) and pre-paging serves its own fixed
-       lookahead. [length] is deliberately not honored beyond the first
-       page. *)
-    ignore length;
-    let extra = match br.br_strategy with Pre_paging n -> n * ps | _ -> 0 in
-    let want = min (ps + extra) (br.br_size - offset) in
-    let want = max want 0 in
-    if want = 0 then Mos.data_unavailable t.srv ~request ~offset ~size:length
-    else begin
-      match
-        Access.read_bytes
-          (Task.kernel br.br_src).Mach_kernel.Ktypes.k_kctx (Task.map br.br_src)
-          ~addr:(br.br_base + offset) ~len:want ()
-      with
-      | Ok data ->
-        t.shipped <- t.shipped + ((want + ps - 1) / ps);
-        Mos.data_provided t.srv ~request ~offset ~data ~lock_value:Prot.none
-      | Error _ -> Mos.data_unavailable t.srv ~request ~offset ~size:length
-    end
+(* How much data actually crosses the network is this manager's policy:
+   migration pays per page shipped, so copy-on-reference reshapes every
+   cluster down to the demanded page (the kernel re-requests a clustered
+   neighbor if it is ever truly referenced) and pre-paging serves its own
+   fixed lookahead ("advanced data managers may provide more data than
+   requested"). The per-page reads come out of the frozen source task. *)
+let policy =
+  {
+    Rt.default_policy with
+    Rt.p_reshape =
+      (fun rt o ~first ~npages:_ ->
+        let br = o.Rt.o_data in
+        let ps = Rt.page_size rt in
+        match br.br_strategy with
+        | Eager_copy | Copy_on_reference -> (first, 1)
+        | Pre_paging n ->
+          let region_pages = max 1 ((br.br_size + ps - 1) / ps) in
+          (first, min (1 + n) (max 1 (region_pages - first))));
+    p_read =
+      (fun rt o ~request:_ ~page ~desired_access:_ ->
+        let br = o.Rt.o_data in
+        let ps = Rt.page_size rt in
+        let off = page * ps in
+        if off >= br.br_size then Rt.Unavailable
+        else begin
+          let len = min ps (br.br_size - off) in
+          match
+            Access.read_bytes
+              (Task.kernel br.br_src).Mach_kernel.Ktypes.k_kctx (Task.map br.br_src)
+              ~addr:(br.br_base + off) ~len ()
+          with
+          | Ok data -> Rt.Data data
+          | Error _ -> Rt.Unavailable
+        end);
+  }
 
 let start kernel ?(name = "migration-manager") () =
   let srv_task = Task.create kernel ~name () in
-  let t_ref = ref None in
-  let get () = match !t_ref with Some t -> t | None -> assert false in
-  let callbacks =
-    {
-      Mos.no_callbacks with
-      Mos.on_data_request =
-        (fun _ ~memory_object ~request ~offset ~length ~desired_access ->
-          on_data_request (get ()) ~memory_object ~request ~offset ~length ~desired_access);
-    }
-  in
-  let srv = Mos.start srv_task callbacks in
-  let t = { srv; regions = Hashtbl.create 16; shipped = 0; sources = [] } in
-  t_ref := Some t;
-  t
+  let rt, srv = Rt.serve srv_task policy in
+  { rt; srv; shipped = 0; sources = [] }
+
+(* One memory object backed by a (frozen) source region. *)
+let back_region t ~src ~base ~size strategy =
+  let memory_object = Mos.create_memory_object t.srv () in
+  ignore
+    (Rt.register t.rt ~memory_object
+       { br_src = src; br_base = base; br_size = size; br_strategy = strategy });
+  memory_object
 
 (* Ship the whole address space up front: the manager reads every source
    page and writes it into the destination task through a per-page
@@ -159,10 +161,9 @@ let migrate t ~src ~dst_kernel strategy =
     (* One memory object per region, backed by the frozen source. *)
     List.iter
       (fun r ->
-        let memory_object = Mos.create_memory_object t.srv () in
-        Hashtbl.replace t.regions (Port.id memory_object)
-          { br_src = src; br_base = r.Vm_map.ri_start; br_size = r.Vm_map.ri_size;
-            br_strategy = strategy };
+        let memory_object =
+          back_region t ~src ~base:r.Vm_map.ri_start ~size:r.Vm_map.ri_size strategy
+        in
         ignore
           (Syscalls.vm_allocate_with_pager dst ~addr:r.Vm_map.ri_start ~size:r.Vm_map.ri_size
              ~anywhere:false ~memory_object ~offset:0 ()))

@@ -39,6 +39,20 @@ val migrate : t -> src:task -> dst_kernel:kernel -> strategy -> migration
 val pages_transferred : t -> int
 (** Pages shipped across so far (eager + demand + pre-paged). *)
 
+val back_region :
+  t ->
+  src:task ->
+  base:int ->
+  size:int ->
+  strategy ->
+  Mach_ipc.Message.port
+(** Create a memory object backed by [size] bytes at [base] in (frozen)
+    [src] — the building block of {!migrate}, exposed so tests can drive
+    the pager protocol on a single region. *)
+
+val runtime_stats : t -> Mach_vm.Pager_runtime.Stats.t
+(** The shared per-pager counters (requests, pages served, …). *)
+
 val finish : t -> migration -> unit
 (** Declare the migration over; terminates the source task backing the
     migrated regions (demand paging stops working after this). *)

@@ -15,85 +15,68 @@ let id_list_files = 3003
 let id_open_object = 3004
 let id_reply = 3100
 
-type file_state = {
+type file = {
   f_name : string;
-  f_object : Message.port;
-  mutable f_requests : Message.port list;  (** one pager request port per kernel *)
   mutable f_mapping : (int * int) option;  (** server's own mapping (addr, size) *)
 }
 
+module Rt = Mach.Pager_runtime
+
 type t = {
+  rt : file Rt.t;
   srv : Mos.t;
   fs : Fs_layout.t;
   service : Message.port;
-  by_object : (int, file_state) Hashtbl.t;  (** memory-object port id → file *)
-  by_name : (string, file_state) Hashtbl.t;
-  enable_cache : bool;
+  by_name : (string, file Rt.obj) Hashtbl.t;
 }
 
 let server_task t = Mos.task t.srv
 let service_port t = t.service
 let fs t = t.fs
+let runtime_stats t = Rt.stats t.rt
 
-(* --- pager side --------------------------------------------------------- *)
+(* --- pager policy --------------------------------------------------------
+   The protocol plumbing (registry, request/write splitting, coalesced
+   replies, request-port tracking) lives in the shared runtime; the
+   filesystem contributes only block-backed page read/write. *)
 
-let on_init t _srv ~memory_object ~request ~name:_ =
-  match Hashtbl.find_opt t.by_object (Port.id memory_object) with
-  | None -> ()
-  | Some file ->
-    file.f_requests <- request :: file.f_requests;
+let policy get ~enable_cache =
+  {
+    Rt.default_policy with
     (* Let the kernel keep file pages cached after unmapping: the heart
-       of the §9 claim (ablatable). *)
-    if t.enable_cache then Mos.cache t.srv ~request ~may_cache:true
-
-let on_data_request t _srv ~memory_object ~request ~offset ~length ~desired_access:_ =
-  match Hashtbl.find_opt t.by_object (Port.id memory_object) with
-  | None -> ()
-  | Some file -> (
-    let bs = Fs_layout.block_size t.fs in
-    let nblocks = (length + bs - 1) / bs in
-    let data = Bytes.make (nblocks * bs) '\000' in
-    let have_file = Fs_layout.exists t.fs file.f_name in
-    if not have_file then Mos.data_unavailable t.srv ~request ~offset ~size:length
-    else begin
-      for i = 0 to nblocks - 1 do
-        match Fs_layout.read_block t.fs file.f_name ~index:((offset / bs) + i) with
-        | Some b -> Bytes.blit b 0 data (i * bs) bs
-        | None -> () (* past EOF: zeroes *)
-      done;
-      Mos.data_provided t.srv ~request ~offset ~data ~lock_value:Prot.none
-    end)
-
-(* Pageout of a directly-mapped file (footnote 7 mappings): persist the
-   dirty pages. A write may carry a run of adjacent pages — split it
-   into blocks. Without this callback, paged-out file modifications
-   would silently vanish from the cache-object lifecycle. *)
-let on_data_write t _srv ~memory_object ~offset ~data ~release =
-  (match Hashtbl.find_opt t.by_object (Port.id memory_object) with
-  | None -> ()
-  | Some file ->
-    let bs = Fs_layout.block_size t.fs in
-    let nblocks = max 1 ((Bytes.length data + bs - 1) / bs) in
-    (try
-       for i = 0 to nblocks - 1 do
-         let len = min bs (Bytes.length data - (i * bs)) in
-         let block =
-           if len = bs then Bytes.sub data (i * bs) bs
-           else begin
-             (* Partial trailing block: merge over what is stored. *)
-             let b =
-               match Fs_layout.read_block t.fs file.f_name ~index:((offset / bs) + i) with
-               | Some b -> b
-               | None -> Bytes.make bs '\000'
-             in
-             Bytes.blit data (i * bs) b 0 len;
-             b
-           end
-         in
-         Fs_layout.write_block t.fs file.f_name ~index:((offset / bs) + i) block
-       done
-     with Fs_layout.Fs_error _ -> ()));
-  release ()
+       of the Â§9 claim (ablatable via [enable_cache]). *)
+    Rt.p_may_cache = (if enable_cache then Some true else None);
+    p_read =
+      (fun rt o ~request:_ ~page ~desired_access:_ ->
+        let t = get () in
+        let file = o.Rt.o_data in
+        if not (Fs_layout.exists t.fs file.f_name) then Rt.Unavailable
+        else
+          let ps = Rt.page_size rt in
+          Rt.Data
+            (Rt.Blocks.read_range
+               ~block_size:(Fs_layout.block_size t.fs)
+               ~read:(fun ~index -> Fs_layout.read_block t.fs file.f_name ~index)
+               ~offset:(page * ps) ~len:ps))
+    (* Past-EOF blocks read as zeroes; a missing file is unavailable for
+       the whole range (the runtime coalesces the holes). *);
+    p_write =
+      (fun rt o ~page ~data ->
+        (* Pageout of a directly-mapped file (footnote 7 mappings):
+           persist the dirty page, merging partial trailing blocks over
+           what is stored. Without this, paged-out file modifications
+           would silently vanish from the cache-object lifecycle. *)
+        let t = get () in
+        let file = o.Rt.o_data in
+        if Bytes.length data > 0 then
+          try
+            Rt.Blocks.write_range
+              ~block_size:(Fs_layout.block_size t.fs)
+              ~read:(fun ~index -> Fs_layout.read_block t.fs file.f_name ~index)
+              ~write:(fun ~index b -> Fs_layout.write_block t.fs file.f_name ~index b)
+              ~offset:(page * Rt.page_size rt) ~data
+          with Fs_layout.Fs_error _ -> ());
+  }
 
 (* --- RPC side ----------------------------------------------------------- *)
 
@@ -112,17 +95,19 @@ let status_item ok detail =
 
 let get_file t name =
   match Hashtbl.find_opt t.by_name name with
-  | Some f -> f
+  | Some o -> o
   | None ->
     let f_object = Mos.create_memory_object t.srv () in
-    let file = { f_name = name; f_object; f_requests = []; f_mapping = None } in
-    Hashtbl.replace t.by_object (Port.id f_object) file;
-    Hashtbl.replace t.by_name name file;
-    file
+    let o = Rt.register t.rt ~memory_object:f_object { f_name = name; f_mapping = None } in
+    Hashtbl.replace t.by_name name o;
+    o
+
+let file_object t name = (get_file t name).Rt.o_port
 
 (* The server maps the file's memory object into its own address space
    once and keeps the mapping; replies transfer it copy-on-write. *)
-let server_mapping t file ~size =
+let server_mapping t (o : file Rt.obj) ~size =
+  let file = o.Rt.o_data in
   match file.f_mapping with
   | Some (addr, msize) when msize >= size -> addr
   | other ->
@@ -131,7 +116,7 @@ let server_mapping t file ~size =
     | None -> ());
     let addr =
       Syscalls.vm_allocate_with_pager (server_task t) ~size ~anywhere:true
-        ~memory_object:file.f_object ~offset:0 ()
+        ~memory_object:o.Rt.o_port ~offset:0 ()
     in
     file.f_mapping <- Some (addr, size);
     addr
@@ -167,12 +152,12 @@ let handle_write_file t msg name data =
   | exception Fs_layout.Fs_error reason -> reply_to t msg [ status_item false reason ]
   | () ->
     (match Hashtbl.find_opt t.by_name name with
-    | Some file ->
+    | Some o ->
       (* Invalidate stale cached pages everywhere this object is known. *)
       let len = max (Bytes.length data) 1 in
       List.iter
-        (fun request -> Mos.flush_request t.srv ~request ~offset:0 ~length:len)
-        file.f_requests
+        (fun request -> Rt.flush_request t.rt ~request ~offset:0 ~length:len)
+        (Rt.requests o)
     | None -> ());
     reply_to t msg [ status_item true "" ]
 
@@ -183,7 +168,7 @@ let handle_open_object t msg name =
   if not (Fs_layout.exists t.fs name) then reply_to t msg [ status_item false "no such file" ]
   else begin
     let size = Option.value ~default:0 (Fs_layout.file_size t.fs name) in
-    let file = get_file t name in
+    let o = get_file t name in
     let size_item =
       let e = Codec.Enc.create () in
       Codec.Enc.int e size;
@@ -192,7 +177,7 @@ let handle_open_object t msg name =
     reply_to t msg
       [
         status_item true "";
-        Message.Caps [ { Message.cap_port = file.f_object; cap_right = Message.Send_right } ];
+        Message.Caps [ { Message.cap_port = o.Rt.o_port; cap_right = Message.Send_right } ];
         size_item;
       ]
   end
@@ -233,23 +218,13 @@ let start kernel ?(name = "fs-server") ?(enable_cache = true) ?(service_threads 
   let service = Port_space.lookup_exn (Task.space srv_task) service_name in
   let t_ref = ref None in
   let get () = match !t_ref with Some t -> t | None -> assert false in
-  let callbacks =
-    {
-      Mos.no_callbacks with
-      Mos.on_init = (fun srv ~memory_object ~request ~name -> on_init (get ()) srv ~memory_object ~request ~name);
-      Mos.on_data_request =
-        (fun srv ~memory_object ~request ~offset ~length ~desired_access ->
-          on_data_request (get ()) srv ~memory_object ~request ~offset ~length ~desired_access);
-      Mos.on_data_write =
-        (fun srv ~memory_object ~offset ~data ~release ->
-          on_data_write (get ()) srv ~memory_object ~offset ~data ~release);
-      Mos.on_other = (fun srv msg -> on_other (get ()) srv msg);
-    }
+  let rt, srv =
+    Rt.serve ~service_threads
+      ~on_other:(fun _rt srv msg -> on_other (get ()) srv msg)
+      srv_task
+      (policy get ~enable_cache)
   in
-  let srv = Mos.start ~service_threads srv_task callbacks in
-  let t =
-    { srv; fs; service; by_object = Hashtbl.create 64; by_name = Hashtbl.create 64; enable_cache }
-  in
+  let t = { rt; srv; fs; service; by_name = Hashtbl.create 64 } in
   t_ref := Some t;
   t
 

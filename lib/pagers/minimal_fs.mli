@@ -40,6 +40,14 @@ val fs : t -> Mach_fs.Fs_layout.t
 (** Direct access to the underlying layout (tests and workload setup —
     bypasses the server and charges disk time to the caller). *)
 
+val file_object : t -> string -> Mach_ipc.Message.port
+(** The file's memory-object port (registering the file with the pager
+    runtime if needed) — conformance tests drive the protocol on it
+    directly. *)
+
+val runtime_stats : t -> Mach_vm.Pager_runtime.Stats.t
+(** The shared per-pager counters (requests, pages served, …). *)
+
 (** {2 Client library (the paper's [fs_read_file] / [fs_write_file])} *)
 
 module Client : sig

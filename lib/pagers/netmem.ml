@@ -3,6 +3,13 @@ module Port = Mach_ipc.Port
 module Prot = Mach_hw.Prot
 module Task = Mach_kernel.Task
 module Mos = Mach.Memory_object_server
+module Rt = Mach.Pager_runtime
+
+(* The coherence state machine is the policy; everything else — object
+   registry, request splitting, reply accounting — lives in the shared
+   pager runtime. Every [p_read] returns [Defer]: grants are issued by
+   the state machine itself, possibly much later (after invalidations
+   confirm), through the runtime's counted send helpers. *)
 
 type grant = Provide of { g_request : Message.port; g_write : bool } | Unlock of { g_request : Message.port }
 
@@ -21,59 +28,58 @@ and transition = {
 type page_rec = { mutable data : bytes; mutable state : state }
 
 type region = {
-  rg_object : Message.port;
   rg_pages : page_rec array;
   mutable rg_kernels : Message.port list;  (** request ports, one per kernel *)
 }
 
 type t = {
+  rt : region Rt.t;
   srv : Mos.t;
   page_size : int;
-  regions : (int, region) Hashtbl.t;  (** memory-object port id → region *)
   mutable invalidations : int;
   mutable grants : int;
 }
 
 let server_task t = Mos.task t.srv
+let runtime_stats t = Rt.stats t.rt
 
 let region_exn t port =
-  match Hashtbl.find_opt t.regions (Port.id port) with
+  match Rt.find_data t.rt port with
   | Some r -> r
   | None -> invalid_arg "Netmem: unknown region"
 
 (* --- protocol actions --------------------------------------------------- *)
 
-let flush t region page_idx ~request =
+let flush t page_idx ~request =
   t.invalidations <- t.invalidations + 1;
-  ignore region;
-  Mos.flush_request t.srv ~request ~offset:(page_idx * t.page_size) ~length:t.page_size
+  Rt.flush_request t.rt ~request ~offset:(page_idx * t.page_size) ~length:t.page_size
 
 let execute_grant t page page_idx = function
   | Provide { g_request; g_write } ->
     if g_write then begin
       t.grants <- t.grants + 1;
-      Mos.data_provided t.srv ~request:g_request ~offset:(page_idx * t.page_size)
+      Rt.data_provided t.rt ~request:g_request ~offset:(page_idx * t.page_size)
         ~data:(Bytes.copy page.data) ~lock_value:Prot.none;
       page.state <- Writer g_request
     end
     else begin
-      Mos.data_provided t.srv ~request:g_request ~offset:(page_idx * t.page_size)
+      Rt.data_provided t.rt ~request:g_request ~offset:(page_idx * t.page_size)
         ~data:(Bytes.copy page.data) ~lock_value:Prot.write;
       page.state <- Readers [ g_request ]
     end
   | Unlock { g_request } ->
     t.grants <- t.grants + 1;
-    Mos.data_lock t.srv ~request:g_request ~offset:(page_idx * t.page_size)
+    Rt.data_lock t.rt ~request:g_request ~offset:(page_idx * t.page_size)
       ~length:t.page_size ~lock_value:Prot.none;
     page.state <- Writer g_request
 
 (* Begin invalidating [targets] and run [g] when they all confirm. *)
-let start_transition t region page page_idx targets g =
+let start_transition t page page_idx targets g =
   let ids = List.map Port.id targets in
   let tr = { awaiting = ids; flushed = ids; queued = Queue.create () } in
   Queue.add g tr.queued;
   page.state <- Transition tr;
-  List.iter (fun request -> flush t region page_idx ~request) targets
+  List.iter (fun request -> flush t page_idx ~request) targets
 
 let same_port a b = Port.id a = Port.id b
 
@@ -87,14 +93,14 @@ let rec handle_request t region page_idx ~request ~want_write ~has_copy =
   | Readers rs ->
     if not want_write then begin
       if not (List.exists (same_port request) rs) then begin
-        Mos.data_provided t.srv ~request ~offset:(page_idx * t.page_size)
+        Rt.data_provided t.rt ~request ~offset:(page_idx * t.page_size)
           ~data:(Bytes.copy page.data) ~lock_value:Prot.write;
         page.state <- Readers (request :: rs)
       end
       else
         (* The kernel re-requested a page it holds (it dropped its copy
            without telling us): just provide again. *)
-        Mos.data_provided t.srv ~request ~offset:(page_idx * t.page_size)
+        Rt.data_provided t.rt ~request ~offset:(page_idx * t.page_size)
           ~data:(Bytes.copy page.data) ~lock_value:Prot.write
     end
     else begin
@@ -105,13 +111,13 @@ let rec handle_request t region page_idx ~request ~want_write ~has_copy =
         else Provide { g_request = request; g_write = true }
       in
       if others = [] then execute_grant t page page_idx g
-      else start_transition t region page page_idx others g
+      else start_transition t page page_idx others g
     end
   | Writer w ->
     if same_port w request then
       execute_grant t page page_idx (Provide { g_request = request; g_write = want_write })
     else
-      start_transition t region page page_idx [ w ]
+      start_transition t page page_idx [ w ]
         (Provide { g_request = request; g_write = want_write })
   | Transition tr ->
     Queue.add
@@ -146,153 +152,118 @@ and complete_transition t region page_idx tr =
           handle_request t region page_idx ~request:g_request ~want_write:true ~has_copy:false)
       rest
 
-(* --- callbacks ---------------------------------------------------------- *)
+(* --- the policy --------------------------------------------------------- *)
 
-let on_init t ~memory_object ~request =
-  match Hashtbl.find_opt t.regions (Port.id memory_object) with
-  | None -> ()
-  | Some region ->
-    if not (List.exists (same_port request) region.rg_kernels) then
-      region.rg_kernels <- request :: region.rg_kernels
+(* A data request means the kernel holds no copy: retire any stale
+   bookkeeping for it first. *)
+let retire_stale page ~request =
+  match page.state with
+  | Readers rs when List.exists (same_port request) rs ->
+    page.state <-
+      (match List.filter (fun r -> not (same_port request r)) rs with
+      | [] -> Idle
+      | rest -> Readers rest)
+  | Writer w when same_port w request -> page.state <- Idle
+  | Idle | Readers _ | Writer _ | Transition _ -> ()
 
-let on_data_request t ~memory_object ~request ~offset ~length ~desired_access =
-  match Hashtbl.find_opt t.regions (Port.id memory_object) with
-  | None -> ()
-  | Some region ->
-    let first = offset / t.page_size in
-    let last = (offset + length - 1) / t.page_size in
-    for page_idx = first to min last (Array.length region.rg_pages - 1) do
-      let page = region.rg_pages.(page_idx) in
-      (* A data request means the kernel holds no copy: retire any stale
-         bookkeeping for it first. *)
-      (match page.state with
-      | Readers rs when List.exists (same_port request) rs ->
-        page.state <-
-          (match List.filter (fun r -> not (same_port request r)) rs with
-          | [] -> Idle
-          | rest -> Readers rest)
-      | Writer w when same_port w request -> page.state <- Idle
-      | Idle | Readers _ | Writer _ | Transition _ -> ());
-      handle_request t region page_idx ~request ~want_write:(Prot.can_write desired_access)
-        ~has_copy:false
-    done
-
-let on_data_unlock t ~memory_object ~request ~offset ~length ~desired_access =
-  match Hashtbl.find_opt t.regions (Port.id memory_object) with
-  | None -> ()
-  | Some region ->
-    let first = offset / t.page_size in
-    let last = (offset + length - 1) / t.page_size in
-    for page_idx = first to min last (Array.length region.rg_pages - 1) do
-      handle_request t region page_idx ~request ~want_write:(Prot.can_write desired_access)
-        ~has_copy:true
-    done
-
-let on_data_write t ~memory_object ~offset ~data ~release =
-  (match Hashtbl.find_opt t.regions (Port.id memory_object) with
-  | None -> ()
-  | Some region ->
-    (* A write may carry a run of adjacent pages; split it across the
-       per-page records. *)
-    let ps = t.page_size in
-    let npages = max 1 ((Bytes.length data + ps - 1) / ps) in
-    for i = 0 to npages - 1 do
-      let idx = (offset / ps) + i in
-      if idx < Array.length region.rg_pages then begin
-        let page = region.rg_pages.(idx) in
-        let len = min (Bytes.length data - (i * ps)) (Bytes.length page.data) in
-        Bytes.blit data (i * ps) page.data 0 len
-      end
-    done);
-  release ()
-
-let on_lock_completed t ~memory_object ~request ~offset ~length =
-  match (Hashtbl.find_opt t.regions (Port.id memory_object), request) with
-  | None, _ | _, None -> ()
-  | Some region, Some request ->
-    let rid = Port.id request in
-    let first = offset / t.page_size in
-    let last = (offset + length - 1) / t.page_size in
-    for page_idx = first to min last (Array.length region.rg_pages - 1) do
-      match region.rg_pages.(page_idx).state with
-      | Transition tr ->
-        tr.awaiting <- List.filter (fun id -> id <> rid) tr.awaiting;
-        if tr.awaiting = [] then complete_transition t region page_idx tr
-      | Idle | Readers _ | Writer _ -> ()
-    done
-
-let on_port_death t port =
-  let rid = Port.id port in
-  Hashtbl.iter
-    (fun _ region ->
-      if List.exists (same_port port) region.rg_kernels then begin
-        region.rg_kernels <- List.filter (fun r -> not (same_port port r)) region.rg_kernels;
-        Array.iteri
-          (fun page_idx page ->
-            match page.state with
-            | Readers rs ->
-              page.state <-
-                (match List.filter (fun r -> Port.id r <> rid) rs with
-                | [] -> Idle
-                | rest -> Readers rest)
-            | Writer w when Port.id w = rid -> page.state <- Idle
+let policy get =
+  {
+    Rt.default_policy with
+    Rt.p_init =
+      (fun _ o ~request ->
+        let region = o.Rt.o_data in
+        if not (List.exists (same_port request) region.rg_kernels) then
+          region.rg_kernels <- request :: region.rg_kernels);
+    p_read =
+      (fun _ o ~request ~page:page_idx ~desired_access ->
+        let t = get () in
+        let region = o.Rt.o_data in
+        if page_idx >= Array.length region.rg_pages then Rt.Defer
+        else begin
+          let page = region.rg_pages.(page_idx) in
+          retire_stale page ~request;
+          handle_request t region page_idx ~request
+            ~want_write:(Prot.can_write desired_access) ~has_copy:false;
+          Rt.Defer
+        end);
+    p_unlock =
+      (fun _ o ~request ~page:page_idx ~desired_access ->
+        let t = get () in
+        let region = o.Rt.o_data in
+        if page_idx < Array.length region.rg_pages then
+          handle_request t region page_idx ~request
+            ~want_write:(Prot.can_write desired_access) ~has_copy:true;
+        Rt.Defer_unlock);
+    p_write =
+      (fun _ o ~page:page_idx ~data ->
+        let region = o.Rt.o_data in
+        if page_idx < Array.length region.rg_pages && Bytes.length data > 0 then begin
+          let page = region.rg_pages.(page_idx) in
+          let len = min (Bytes.length data) (Bytes.length page.data) in
+          Bytes.blit data 0 page.data 0 len
+        end);
+    p_lock_completed =
+      (fun _ o ~request ~offset ~length ->
+        match request with
+        | None -> ()
+        | Some request ->
+          let t = get () in
+          let region = o.Rt.o_data in
+          let rid = Port.id request in
+          let first = offset / t.page_size in
+          let last = (offset + length - 1) / t.page_size in
+          for page_idx = first to min last (Array.length region.rg_pages - 1) do
+            match region.rg_pages.(page_idx).state with
             | Transition tr ->
               tr.awaiting <- List.filter (fun id -> id <> rid) tr.awaiting;
               if tr.awaiting = [] then complete_transition t region page_idx tr
-            | Idle | Writer _ -> ())
-          region.rg_pages
-      end)
-    t.regions
+            | Idle | Readers _ | Writer _ -> ()
+          done);
+    p_death =
+      (fun _ o port ->
+        let t = get () in
+        let region = o.Rt.o_data in
+        let rid = Port.id port in
+        if List.exists (same_port port) region.rg_kernels then begin
+          region.rg_kernels <-
+            List.filter (fun r -> not (same_port port r)) region.rg_kernels;
+          Array.iteri
+            (fun page_idx page ->
+              match page.state with
+              | Readers rs ->
+                page.state <-
+                  (match List.filter (fun r -> Port.id r <> rid) rs with
+                  | [] -> Idle
+                  | rest -> Readers rest)
+              | Writer w when Port.id w = rid -> page.state <- Idle
+              | Transition tr ->
+                tr.awaiting <- List.filter (fun id -> id <> rid) tr.awaiting;
+                if tr.awaiting = [] then complete_transition t region page_idx tr
+              | Idle | Writer _ -> ())
+            region.rg_pages
+        end);
+  }
 
 let start kernel ?(name = "netmem-server") () =
   let srv_task = Task.create kernel ~name () in
   let t_ref = ref None in
   let get () = match !t_ref with Some t -> t | None -> assert false in
-  let callbacks =
-    {
-      Mos.no_callbacks with
-      Mos.on_init =
-        (fun _ ~memory_object ~request ~name:_ -> on_init (get ()) ~memory_object ~request);
-      Mos.on_data_request =
-        (fun _ ~memory_object ~request ~offset ~length ~desired_access ->
-          on_data_request (get ()) ~memory_object ~request ~offset ~length ~desired_access);
-      Mos.on_data_unlock =
-        (fun _ ~memory_object ~request ~offset ~length ~desired_access ->
-          on_data_unlock (get ()) ~memory_object ~request ~offset ~length ~desired_access);
-      Mos.on_data_write =
-        (fun _ ~memory_object ~offset ~data ~release ->
-          on_data_write (get ()) ~memory_object ~offset ~data ~release);
-      Mos.on_lock_completed =
-        (fun _ ~memory_object ~request ~offset ~length ->
-          on_lock_completed (get ()) ~memory_object ~request ~offset ~length);
-      Mos.on_port_death = (fun _ port -> on_port_death (get ()) port);
-    }
-  in
-  let srv = Mos.start srv_task callbacks in
-  let t =
-    {
-      srv;
-      page_size = (Task.kernel srv_task).Mach_kernel.Ktypes.k_kctx.Mach_vm.Kctx.page_size;
-      regions = Hashtbl.create 8;
-      invalidations = 0;
-      grants = 0;
-    }
-  in
+  let rt, srv = Rt.serve srv_task (policy get) in
+  let t = { rt; srv; page_size = Rt.page_size rt; invalidations = 0; grants = 0 } in
   t_ref := Some t;
   t
 
 let create_region t ~size =
-  let rg_object = Mos.create_memory_object t.srv () in
+  let memory_object = Mos.create_memory_object t.srv () in
   let n = (size + t.page_size - 1) / t.page_size in
   let region =
     {
-      rg_object;
       rg_pages = Array.init n (fun _ -> { data = Bytes.make t.page_size '\000'; state = Idle });
       rg_kernels = [];
     }
   in
-  Hashtbl.replace t.regions (Port.id rg_object) region;
-  rg_object
+  let o = Rt.register t.rt ~memory_object region in
+  o.Rt.o_port
 
 let write_initial t ~region ~offset data =
   let r = region_exn t region in

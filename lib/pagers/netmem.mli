@@ -49,3 +49,6 @@ val invalidations : t -> int
 
 val grants : t -> int
 (** Total write grants issued. *)
+
+val runtime_stats : t -> Mach_vm.Pager_runtime.Stats.t
+(** The shared per-pager counters (requests, pages served, …). *)

@@ -9,6 +9,18 @@ module Machine = Mach_hw.Machine
 type policy = Wait_forever | Abort_after of float | Zero_fill_after of float
 type outcome = Done | Invalid_address | Protection_failure | Pager_error
 
+(* A dead manager answers nothing: requests against it resolve locally
+   (see [Pager_client.pager_died] for in-flight pages). *)
+let dead_pager obj =
+  match obj.pager with
+  | Pager p -> p.pager_dead || not (Mach_ipc.Port.alive p.memory_object)
+  | No_pager -> false
+
+(* Objects whose initial contents are zero by definition — their dead
+   pager can be substituted by zero fill; file-backed data cannot. *)
+let anonymous_style obj =
+  obj.temporary || (match obj.pager with Pager p -> p.is_default | No_pager -> true)
+
 (* The fault pipeline is split in two:
 
    - The FAST PATH handles the common case — the page is resident,
@@ -229,13 +241,32 @@ let handle kctx map ~addr ~write ?policy () =
   and slow_lock page tries =
     stats.s_slow_lock <- stats.s_slow_lock + 1;
     let owner = page.p_obj in
-    (match owner.pager with
-    | Pager _ when not page.unlock_requested ->
-      page.unlock_requested <- true;
-      Pager_client.send_unlock kctx owner ~offset:page.p_offset ~length:ps
-        ~desired_access:(if write then Prot.write else Prot.read)
-    | Pager _ | No_pager -> ());
-    if wait_while page (forbidden page) then resolve (tries + 1) else Pager_error
+    if dead_pager owner then
+      (* The unlock can never arrive. Anonymous-style objects shed the
+         dead manager's lock; file-backed accesses fail. *)
+      if anonymous_style owner then begin
+        page.page_lock <- Prot.none;
+        page.unlock_requested <- false;
+        Waitq.broadcast page.busy_wait;
+        resolve (tries + 1)
+      end
+      else begin
+        stats.s_death_errors <- stats.s_death_errors + 1;
+        Pager_error
+      end
+    else begin
+      (match owner.pager with
+      | Pager _ when not page.unlock_requested ->
+        page.unlock_requested <- true;
+        Pager_client.send_unlock kctx owner ~offset:page.p_offset ~length:ps
+          ~desired_access:(if write then Prot.write else Prot.read)
+      | Pager _ | No_pager -> ());
+      (* The wait also breaks on pager death ([pager_died] broadcasts);
+         the retry re-enters [slow_lock] and takes the dead branch. *)
+      if wait_while page (fun () -> forbidden page () && not (dead_pager owner)) then
+        resolve (tries + 1)
+      else Pager_error
+    end
   (* Copy-on-write: the page lives in a backing object; give the first
      object its own copy (§5.5). *)
   and slow_cow first_obj first_off page tries =
@@ -268,21 +299,45 @@ let handle kctx map ~addr ~write ?policy () =
      issue a (possibly clustered) pager_data_request and wait. *)
   and slow_pager powner poffset tries =
     stats.s_slow_pager <- stats.s_slow_pager + 1;
-    let window = if write then 1 else kctx.Kctx.cluster_pages in
-    let page =
-      Pager_client.request_cluster kctx powner ~offset:poffset
-        ~desired_access:(if write then Prot.rw else Prot.read)
-        ~window
-    in
-    if wait_while page (fun () -> page.busy) then resolve (tries + 1)
-    else
-      match policy with
-      | Zero_fill_after _ when page.absent ->
-        zero_fill_placeholder page;
+    if dead_pager powner then
+      (* The manager is gone: resolve locally and deterministically
+         instead of requesting and waiting out a timeout. *)
+      if anonymous_style powner then begin
+        let frame = Kctx.alloc_frame kctx ~privileged:false in
+        (* alloc_frame may sleep; someone may have resolved the page. *)
+        if Hashtbl.mem powner.obj_pages poffset then Kctx.free_frame kctx frame
+        else begin
+          let page =
+            Vm_page.insert kctx powner ~offset:poffset ~frame ~busy:false ~absent:false
+          in
+          stats.s_zero_fill <- stats.s_zero_fill + 1;
+          stats.s_death_zero_fills <- stats.s_death_zero_fills + 1;
+          Page_queues.activate kctx.Kctx.queues page
+        end;
+        (* Re-resolve: the page may sit in a backing object (COW due). *)
         resolve (tries + 1)
-      | Zero_fill_after _ | Wait_forever | Abort_after _ ->
-        if page.absent then page.p_error <- true;
+      end
+      else begin
+        stats.s_death_errors <- stats.s_death_errors + 1;
         Pager_error
+      end
+    else begin
+      let window = if write then 1 else kctx.Kctx.cluster_pages in
+      let page =
+        Pager_client.request_cluster kctx powner ~offset:poffset
+          ~desired_access:(if write then Prot.rw else Prot.read)
+          ~window
+      in
+      if wait_while page (fun () -> page.busy) then resolve (tries + 1)
+      else
+        match policy with
+        | Zero_fill_after _ when page.absent ->
+          zero_fill_placeholder page;
+          resolve (tries + 1)
+        | Zero_fill_after _ | Wait_forever | Abort_after _ ->
+          if page.absent then page.p_error <- true;
+          Pager_error
+    end
   (* Not resident, no manager anywhere in the chain: fresh zeroes. *)
   and slow_zero_fill first_obj first_off tries =
     let frame = Kctx.alloc_frame kctx ~privileged:false in

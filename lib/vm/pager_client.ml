@@ -29,6 +29,131 @@ let get_pager obj =
   | Pager p -> p
   | No_pager -> invalid_arg "Pager_client: object has no pager"
 
+(* --- write-holding bookkeeping ------------------------------------------
+   Defined ahead of the request path because the pager-death handler
+   (registered at initialization time) rescues outstanding holdings. *)
+
+let fresh_write_id kctx =
+  let id = kctx.Kctx.next_write_id in
+  kctx.Kctx.next_write_id <- id + 1;
+  id
+
+(* [page] is still the cleaning page the holding shipped: not freed,
+   renamed, or replaced while we slept. Busy-cleaning pages cannot be
+   freed out from under us, but object teardown detaches structures. *)
+let still_held (h : holding) page =
+  page.p_obj == h.h_obj
+  && (match Hashtbl.find_opt h.h_obj.obj_pages page.p_offset with
+     | Some p -> p == page
+     | None -> false)
+
+(* §6.2.2 double paging: the manager sat on the data past the release
+   timeout. Push the run's contents to the default pager's backing store
+   and take the frames back. Cleaning pages lose their frames — waiters
+   wake and re-resolve against the manager, which still owes the data it
+   never released. Runs in a timer callback, so nothing here may block:
+   mappings were removed at launder time, making every free charge-less. *)
+let rescue kctx (h : holding) =
+  if not h.h_released then begin
+    h.h_released <- true;
+    Hashtbl.remove kctx.Kctx.holdings h.h_write_id;
+    let pages = List.filter (still_held h) h.h_pages in
+    let rescued = List.length pages + List.length h.h_frames in
+    kctx.Kctx.stats.s_pageout_to_default <-
+      kctx.Kctx.stats.s_pageout_to_default + rescued;
+    (match kctx.Kctx.rescue_writer with Some w -> w h.h_data | None -> ());
+    List.iter (Kctx.free_frame kctx) h.h_frames;
+    h.h_frames <- [];
+    List.iter
+      (fun page ->
+        Vm_page.set_unbusy page;
+        Vm_page.free kctx page)
+      pages;
+    h.h_pages <- []
+  end
+
+let release_write kctx ~write_id =
+  match Hashtbl.find_opt kctx.Kctx.holdings write_id with
+  | None -> () (* already rescued or bogus id *)
+  | Some h ->
+    h.h_released <- true;
+    Hashtbl.remove kctx.Kctx.holdings write_id;
+    List.iter (Kctx.free_frame kctx) h.h_frames;
+    h.h_frames <- [];
+    (* Partial release: the run's pages are handled one at a time, so
+       under continued pressure the head of the run is freed and the
+       tail stays clean-resident once the watermark is met again. *)
+    List.iter
+      (fun page ->
+        if still_held h page then begin
+          page.dirty <- false;
+          Vm_page.set_unbusy page;
+          match h.h_dispose with
+          | Dispose_free -> Vm_page.free kctx page
+          | Dispose_keep ->
+            if Kctx.need_pageout kctx then Vm_page.free kctx page
+            else Page_queues.deactivate kctx.Kctx.queues page
+        end)
+      h.h_pages;
+    h.h_pages <- []
+
+(* --- pager death --------------------------------------------------------
+   The single pager-death story: when a manager's object port dies,
+   every outstanding request on that object resolves deterministically,
+   right now — zero-fill for anonymous-style objects (default-pager
+   backed or temporary: their initial contents are zero by definition),
+   fault error for file-backed ones — instead of each caller waiting out
+   its own timeout. Future faults short-circuit on [pager_dead]. *)
+let pager_died kctx obj =
+  match obj.pager with
+  | No_pager -> ()
+  | Pager p when p.pager_dead -> ()
+  | Pager p ->
+    p.pager_dead <- true;
+    let stats = kctx.Kctx.stats in
+    stats.s_pager_deaths <- stats.s_pager_deaths + 1;
+    Log.warn (fun m -> m "pager died for object %d" obj.obj_id);
+    let anonymous = p.is_default || obj.temporary in
+    let pages = Hashtbl.fold (fun _ pg acc -> pg :: acc) obj.obj_pages [] in
+    List.iter
+      (fun page ->
+        if page.busy && page.absent then begin
+          if page.cluster_spec then
+            (* Speculative placeholder no faulter waits on: reclaim. *)
+            Vm_page.release_placeholder kctx page
+          else if anonymous then begin
+            (* The frame is already zero-filled; resolve like
+               data_unavailable. *)
+            page.absent <- false;
+            page.p_error <- false;
+            obj.paging_in_progress <- max 0 (obj.paging_in_progress - 1);
+            stats.s_zero_fill <- stats.s_zero_fill + 1;
+            stats.s_death_zero_fills <- stats.s_death_zero_fills + 1;
+            Page_queues.activate kctx.Kctx.queues page;
+            Vm_page.set_unbusy page
+          end
+          else begin
+            (* Mirror the slow-path timeout: error the placeholder so
+               waiters fail the fault. *)
+            page.p_error <- true;
+            stats.s_death_errors <- stats.s_death_errors + 1;
+            Vm_page.set_unbusy page
+          end
+        end
+        else if (not (Prot.equal page.page_lock Prot.none)) || page.unlock_requested then
+          (* The unlock can never arrive; wake waiters so the fault path
+             re-checks against the dead pager. *)
+          Mach_sim.Waitq.broadcast page.busy_wait)
+      pages;
+    (* Outstanding data_writes will never be released: run the §6.2.2
+       rescue immediately instead of waiting out the timer. *)
+    let doomed =
+      Hashtbl.fold
+        (fun _ h acc -> if h.h_obj == obj then h :: acc else acc)
+        kctx.Kctx.holdings []
+    in
+    List.iter (rescue kctx) doomed
+
 let make_request_ports kctx obj p =
   let ctx = kctx.Kctx.ctx in
   let request = Port.create ctx ~home:kctx.Kctx.host ~backlog:256 () in
@@ -48,6 +173,8 @@ let ensure_initialized kctx obj =
     if not p.initialized then begin
       p.initialized <- true;
       let request, name = make_request_ports kctx obj p in
+      (* Fires immediately if the manager is already gone. *)
+      ignore (Port.on_death p.memory_object (fun () -> pager_died kctx obj));
       kernel_send kctx
         (Pager_iface.encode_k2m ~reply:None
            (Pager_iface.Init { memory_object = p.memory_object; request; name })
@@ -155,6 +282,7 @@ let bind_to_default_pager kctx obj =
         initialized = true;
         init_wait = Mach_sim.Ivar.create ();
         is_default = true;
+        pager_dead = false;
       }
     in
     obj.pager <- Pager p;
@@ -175,70 +303,6 @@ let bind_to_default_pager kctx obj =
    machinery instead of round-tripping to the pager. Pages detached
    before the release (object termination) park their frames in
    [h_frames] instead. *)
-
-let fresh_write_id kctx =
-  let id = kctx.Kctx.next_write_id in
-  kctx.Kctx.next_write_id <- id + 1;
-  id
-
-(* [page] is still the cleaning page the holding shipped: not freed,
-   renamed, or replaced while we slept. Busy-cleaning pages cannot be
-   freed out from under us, but object teardown detaches structures. *)
-let still_held (h : holding) page =
-  page.p_obj == h.h_obj
-  && (match Hashtbl.find_opt h.h_obj.obj_pages page.p_offset with
-     | Some p -> p == page
-     | None -> false)
-
-(* §6.2.2 double paging: the manager sat on the data past the release
-   timeout. Push the run's contents to the default pager's backing store
-   and take the frames back. Cleaning pages lose their frames — waiters
-   wake and re-resolve against the manager, which still owes the data it
-   never released. Runs in a timer callback, so nothing here may block:
-   mappings were removed at launder time, making every free charge-less. *)
-let rescue kctx (h : holding) =
-  if not h.h_released then begin
-    h.h_released <- true;
-    Hashtbl.remove kctx.Kctx.holdings h.h_write_id;
-    let pages = List.filter (still_held h) h.h_pages in
-    let rescued = List.length pages + List.length h.h_frames in
-    kctx.Kctx.stats.s_pageout_to_default <-
-      kctx.Kctx.stats.s_pageout_to_default + rescued;
-    (match kctx.Kctx.rescue_writer with Some w -> w h.h_data | None -> ());
-    List.iter (Kctx.free_frame kctx) h.h_frames;
-    h.h_frames <- [];
-    List.iter
-      (fun page ->
-        Vm_page.set_unbusy page;
-        Vm_page.free kctx page)
-      pages;
-    h.h_pages <- []
-  end
-
-let release_write kctx ~write_id =
-  match Hashtbl.find_opt kctx.Kctx.holdings write_id with
-  | None -> () (* already rescued or bogus id *)
-  | Some h ->
-    h.h_released <- true;
-    Hashtbl.remove kctx.Kctx.holdings write_id;
-    List.iter (Kctx.free_frame kctx) h.h_frames;
-    h.h_frames <- [];
-    (* Partial release: the run's pages are handled one at a time, so
-       under continued pressure the head of the run is freed and the
-       tail stays clean-resident once the watermark is met again. *)
-    List.iter
-      (fun page ->
-        if still_held h page then begin
-          page.dirty <- false;
-          Vm_page.set_unbusy page;
-          match h.h_dispose with
-          | Dispose_free -> Vm_page.free kctx page
-          | Dispose_keep ->
-            if Kctx.need_pageout kctx then Vm_page.free kctx page
-            else Page_queues.deactivate kctx.Kctx.queues page
-        end)
-      h.h_pages;
-    h.h_pages <- []
 
 (* Ship a prepared run: one holding record, one rescue timer, one
    pager_data_write. *)

@@ -1,0 +1,151 @@
+(** The data-manager runtime: one protocol framework under every pager.
+
+    Owns what every manager used to duplicate — the memory-object
+    registry, multi-page [data_request] / run-shaped [data_write]
+    splitting with coalesced replies, unlock resolution, release
+    accounting, port-death bookkeeping, and a uniform {!Stats} block.
+    A manager supplies a {!policy} and becomes a thin policy module.
+
+    Transport-agnostic: [send] is injected, so the same engine serves
+    user-level managers (through [Memory_object_server], see
+    [Mach.Pager_runtime.serve]) and the in-kernel default pager. *)
+
+module Message = Mach_ipc.Message
+module Prot = Mach_hw.Prot
+
+module Stats : sig
+  type t = {
+    mutable s_requests : int;
+    mutable s_pages_served : int;
+    mutable s_unavailable : int;
+    mutable s_writes : int;
+    mutable s_pages_written : int;
+    mutable s_unlocks : int;
+    mutable s_dropped_replies : int;
+    mutable s_port_deaths : int;
+  }
+
+  val create : unit -> t
+  val to_list : t -> (string * int) list
+end
+
+type 'o obj = {
+  o_port : Message.port;
+  o_id : int;
+  mutable o_requests : Message.port list;
+  mutable o_in_flight : int;
+  o_data : 'o;
+}
+
+type page_reply = Data of bytes | Unavailable | Defer
+type unlock_reply = Grant | Relock of Prot.t | Defer_unlock
+
+type 'o t
+
+and 'o policy = {
+  p_read :
+    'o t -> 'o obj -> request:Message.port -> page:int -> desired_access:Prot.t -> page_reply;
+  p_write : 'o t -> 'o obj -> page:int -> data:bytes -> unit;
+  p_prepare_write : 'o t -> 'o obj -> offset:int -> data:bytes -> unit;
+  p_unlock :
+    'o t -> 'o obj -> request:Message.port -> page:int -> desired_access:Prot.t -> unlock_reply;
+  p_reshape : 'o t -> 'o obj -> first:int -> npages:int -> int * int;
+  p_init : 'o t -> 'o obj -> request:Message.port -> unit;
+  p_lock_completed :
+    'o t -> 'o obj -> request:Message.port option -> offset:int -> length:int -> unit;
+  p_death : 'o t -> 'o obj -> Message.port -> unit;
+  p_may_cache : bool option;
+}
+
+val default_policy : 'o policy
+
+val create :
+  name:string ->
+  page_size:int ->
+  send:(Message.t -> (unit, unit) result) ->
+  'o policy ->
+  'o t
+
+val name : 'o t -> string
+val page_size : 'o t -> int
+val stats : 'o t -> Stats.t
+val set_policy : 'o t -> 'o policy -> unit
+
+(** {2 Registry} *)
+
+val register : 'o t -> memory_object:Message.port -> 'o -> 'o obj
+val unregister : 'o t -> 'o obj -> unit
+val find : 'o t -> Message.port -> 'o obj option
+val find_data : 'o t -> Message.port -> 'o option
+val objects : 'o t -> int
+val iter_objects : 'o t -> ('o obj -> unit) -> unit
+val requests : 'o obj -> Message.port list
+val add_request : 'o obj -> Message.port -> unit
+
+(** Count one failed manager→kernel send (used by transports that send
+    outside the runtime's own helpers). *)
+val note_dropped_reply : 'o t -> unit
+
+(** {2 Manager→kernel calls (Table 3-6), with drop accounting} *)
+
+val data_provided :
+  'o t -> request:Message.port -> offset:int -> data:bytes -> lock_value:Prot.t -> unit
+
+val data_unavailable : 'o t -> request:Message.port -> offset:int -> size:int -> unit
+val data_lock : 'o t -> request:Message.port -> offset:int -> length:int -> lock_value:Prot.t -> unit
+val flush_request : 'o t -> request:Message.port -> offset:int -> length:int -> unit
+val clean_request : 'o t -> request:Message.port -> offset:int -> length:int -> unit
+val cache : 'o t -> request:Message.port -> may_cache:bool -> unit
+val release_write : 'o t -> request:Message.port -> write_id:int -> unit
+
+(** {2 Kernel→manager dispatch (Table 3-5)} *)
+
+val handle_init : 'o t -> memory_object:Message.port -> request:Message.port -> unit
+
+val handle_data_request :
+  'o t ->
+  memory_object:Message.port ->
+  request:Message.port ->
+  offset:int ->
+  length:int ->
+  desired_access:Prot.t ->
+  unit
+
+val handle_data_write :
+  'o t -> memory_object:Message.port -> offset:int -> data:bytes -> release:(unit -> unit) -> unit
+
+val handle_data_unlock :
+  'o t ->
+  memory_object:Message.port ->
+  request:Message.port ->
+  offset:int ->
+  length:int ->
+  desired_access:Prot.t ->
+  unit
+
+val handle_lock_completed :
+  'o t -> memory_object:Message.port -> request:Message.port option -> offset:int -> length:int -> unit
+
+val handle_port_death : 'o t -> Message.port -> unit
+
+(** {2 Block-boundary splitting} *)
+
+module Blocks : sig
+  val iter_spans :
+    block_size:int ->
+    offset:int ->
+    len:int ->
+    (index:int -> block_off:int -> buf_off:int -> len:int -> unit) ->
+    unit
+
+  val read_range :
+    block_size:int -> read:(index:int -> bytes option) -> offset:int -> len:int -> bytes
+
+  val write_range :
+    block_size:int ->
+    read:(index:int -> bytes option) ->
+    write:(index:int -> bytes -> unit) ->
+    offset:int ->
+    data:bytes ->
+    unit
+end

@@ -45,6 +45,7 @@ let create_external kctx ~memory_object ~size =
           initialized = false;
           init_wait = Mach_sim.Ivar.create ();
           is_default = false;
+          pager_dead = false;
         }
     in
     let obj = make kctx ~size ~pager ~temporary:false in

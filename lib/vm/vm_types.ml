@@ -64,6 +64,9 @@ and extpager = {
   mutable initialized : bool;
   init_wait : unit Ivar.t;
   is_default : bool;  (** trusted default pager (§6.2.2) *)
+  mutable pager_dead : bool;
+      (** the manager's object port died; outstanding and future
+          requests resolve locally (zero-fill or fault error) *)
 }
 
 and page = {
@@ -141,6 +144,11 @@ type stats = {
   mutable s_data_writes : int;  (** pager_data_write messages (one per run) *)
   mutable s_laundered : int;  (** pages written back while kept resident *)
   mutable s_clean_hits : int;  (** refaults absorbed by a cleaning/clean-resident page *)
+  mutable s_pager_deaths : int;  (** manager object ports that died *)
+  mutable s_death_zero_fills : int;
+      (** placeholder pages zero-filled when their pager died *)
+  mutable s_death_errors : int;
+      (** placeholder pages failed with an error when their pager died *)
 }
 
 let fresh_stats () =
@@ -172,6 +180,9 @@ let fresh_stats () =
     s_data_writes = 0;
     s_laundered = 0;
     s_clean_hits = 0;
+    s_pager_deaths = 0;
+    s_death_zero_fills = 0;
+    s_death_errors = 0;
   }
 
 let stats_to_list s =
@@ -203,4 +214,7 @@ let stats_to_list s =
     ("data_writes", s.s_data_writes);
     ("laundered", s.s_laundered);
     ("clean_hits", s.s_clean_hits);
+    ("pager_deaths", s.s_pager_deaths);
+    ("death_zero_fills", s.s_death_zero_fills);
+    ("death_errors", s.s_death_errors);
   ]
