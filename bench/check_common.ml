@@ -1,0 +1,68 @@
+(* Shared machinery of the bench regression gates (check_e03 /
+   check_e05 / check_e10): a line scanner for the harness's own flat
+   JSON writer — one `"key": number` pair per line, so no JSON library
+   is needed — and the ok/FAIL assertion helpers with a process-wide
+   failure count. *)
+
+let parse path =
+  let ic = open_in path in
+  let kvs = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       match String.index_opt line ':' with
+       | Some i when i >= 2 && line.[0] = '"' && line.[i - 1] = '"' ->
+         let key = String.sub line 1 (i - 2) in
+         let v = String.sub line (i + 1) (String.length line - i - 1) in
+         let v =
+           String.trim
+             (match String.index_opt v ',' with Some j -> String.sub v 0 j | None -> v)
+         in
+         (match float_of_string_opt v with
+         | Some f -> kvs := (key, f) :: !kvs
+         | None -> ())
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !kvs
+
+let failures = ref 0
+
+let get kvs path key =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None ->
+    Printf.eprintf "FAIL %s: missing key %S\n" path key;
+    incr failures;
+    nan
+
+let check_ge what value floor =
+  if value >= floor then Printf.printf "ok   %s: %.3f (floor %.3f)\n" what value floor
+  else begin
+    Printf.eprintf "FAIL %s: %.3f below floor %.3f\n" what value floor;
+    incr failures
+  end
+
+let check_le what value ceiling =
+  if value <= ceiling then Printf.printf "ok   %s: %.3f (ceiling %.3f)\n" what value ceiling
+  else begin
+    Printf.eprintf "FAIL %s: %.3f above ceiling %.3f\n" what value ceiling;
+    incr failures
+  end
+
+let check_eq what value expected =
+  if value = expected then Printf.printf "ok   %s: %.3f\n" what value
+  else begin
+    Printf.eprintf "FAIL %s: %.3f <> %.3f\n" what value expected;
+    incr failures
+  end
+
+(* Exit 1 on any recorded failure, else print the success line. *)
+let finish msg =
+  if !failures > 0 then exit 1;
+  print_endline msg
+
+let usage name =
+  prerr_endline ("usage: " ^ name ^ " BASELINE CURRENT");
+  exit 2

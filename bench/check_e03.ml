@@ -1,0 +1,35 @@
+(* E3 regression gate: compare a freshly produced `--json` run of the
+   copy-vs-map experiment against the committed baseline
+   (BENCH_e03.json) and fail if the zero-copy machinery regressed.
+
+   Usage: check_e03 BASELINE CURRENT *)
+
+open Check_common
+
+(* Tolerated fraction of the recorded baseline ratio (the runs are
+   deterministic; the slack only covers intentional cost-model
+   retuning). *)
+let baseline_fraction = 0.8
+
+let () =
+  (match Sys.argv with
+  | [| _; baseline_path; current_path |] ->
+    let baseline = parse baseline_path in
+    let current = parse current_path in
+    let b_ratio = get baseline baseline_path "copy_over_map_1048576" in
+    let c_ratio = get current current_path "copy_over_map_1048576" in
+    let crossover = get current current_path "crossover_bytes" in
+    let mapped_copied = get current current_path "map_send_bytes_copied_1048576" in
+    if !failures = 0 then begin
+      (* A crossover must exist (-1 means copy never lost), and mapped
+         transfer must beat copying from 64 KB at the latest. *)
+      check_ge "crossover_bytes (crossover exists)" crossover 1.0;
+      check_le "crossover_bytes" crossover 65536.0;
+      (* Sending a mapped region must copy zero bytes eagerly. *)
+      check_eq "map_send_bytes_copied_1048576 (zero-copy)" mapped_copied 0.0;
+      check_ge
+        (Printf.sprintf "copy_over_map_1048576 vs baseline %.3f" b_ratio)
+        c_ratio (baseline_fraction *. b_ratio)
+    end
+  | _ -> usage "check_e03");
+  finish "E3 zero-copy crossover within recorded floors"

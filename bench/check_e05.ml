@@ -3,51 +3,9 @@
    (BENCH_e05.json) and fail if the scheduler's scaling or the handoff
    advantage regressed.
 
-   Usage: check_e05 BASELINE CURRENT
+   Usage: check_e05 BASELINE CURRENT *)
 
-   The JSON involved is the bench harness's own flat writer — one
-   `"key": number` pair per line — so a line scanner is all the parsing
-   this needs. *)
-
-let parse path =
-  let ic = open_in path in
-  let kvs = ref [] in
-  (try
-     while true do
-       let line = String.trim (input_line ic) in
-       match String.index_opt line ':' with
-       | Some i when i >= 2 && line.[0] = '"' && line.[i - 1] = '"' ->
-         let key = String.sub line 1 (i - 2) in
-         let v = String.sub line (i + 1) (String.length line - i - 1) in
-         let v =
-           String.trim
-             (match String.index_opt v ',' with Some j -> String.sub v 0 j | None -> v)
-         in
-         (match float_of_string_opt v with
-         | Some f -> kvs := (key, f) :: !kvs
-         | None -> ())
-       | _ -> ()
-     done
-   with End_of_file -> ());
-  close_in ic;
-  List.rev !kvs
-
-let failures = ref 0
-
-let get kvs path key =
-  match List.assoc_opt key kvs with
-  | Some v -> v
-  | None ->
-    Printf.eprintf "FAIL %s: missing key %S\n" path key;
-    incr failures;
-    nan
-
-let check_ge what value floor =
-  if value >= floor then Printf.printf "ok   %s: %.3f (floor %.3f)\n" what value floor
-  else begin
-    Printf.eprintf "FAIL %s: %.3f below floor %.3f\n" what value floor;
-    incr failures
-  end
+open Check_common
 
 (* The absolute acceptance floor for fault-storm speedup at 4 CPUs, and
    the tolerated fraction of the recorded baseline for the max-CPU
@@ -75,8 +33,5 @@ let () =
       check_ge "handoff_saving_us_per_rpc" saving 1.0;
       check_ge "pingpong_handoff_rate" rate 0.9
     end
-  | _ ->
-    prerr_endline "usage: check_e05 BASELINE CURRENT";
-    exit 2);
-  if !failures > 0 then exit 1;
-  print_endline "E5 scaling within recorded floors"
+  | _ -> usage "check_e05");
+  finish "E5 scaling within recorded floors"

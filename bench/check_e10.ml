@@ -1,0 +1,50 @@
+(* E10 regression gate: the fault-path breakdown is now a trace
+   reduction, so this gate checks both the observability invariants —
+   every fault opened a span and every span closed — and the cost
+   ordering/level of the per-path numbers against the committed
+   baseline (BENCH_e10.json).
+
+   Usage: check_e10 BASELINE CURRENT *)
+
+open Check_common
+
+(* Cost ceilings tolerate this much inflation over the recorded
+   baseline before the gate trips (deterministic runs; slack covers
+   intentional cost-model retuning only). *)
+let baseline_fraction = 0.8
+
+(* The json producer drives 25 rounds per phase. *)
+let rounds = 25.0
+
+let () =
+  (match Sys.argv with
+  | [| _; baseline_path; current_path |] ->
+    let baseline = parse baseline_path in
+    let current = parse current_path in
+    let c key = get current current_path key in
+    let b key = get baseline baseline_path key in
+    let opens = c "spans_opened" in
+    let closes = c "spans_closed" in
+    let faults = c "faults" in
+    if !failures = 0 then begin
+      (* Span ledger: balanced, and one span per fault. *)
+      check_ge "spans_opened" opens 1.0;
+      check_eq "spans_opened = spans_closed" opens closes;
+      check_eq "faults all spanned" faults opens;
+      (* Resolution mix: each driven path actually resolved that way. *)
+      check_ge "via_zero_fill" (c "via_zero_fill") rounds;
+      check_ge "via_cow" (c "via_cow") rounds;
+      check_ge "via_pager" (c "via_pager") rounds;
+      check_ge "via_fast (soft refaults)" (c "via_fast") rounds;
+      check_ge "via_clean_hit (laundry absorption)" (c "via_clean_hit") 1.0;
+      (* Cost ordering: an external-pager fault pays an IPC round trip
+         on top of what a zero-fill or soft fault pays. *)
+      check_ge "ext_us > zf_us" (c "ext_us" -. c "zf_us") 0.001;
+      check_ge "ext_us > soft_us" (c "ext_us" -. c "soft_us") 0.001;
+      (* Level vs baseline: per-path costs must not inflate. *)
+      List.iter
+        (fun key -> check_le (key ^ " vs baseline") (c key) (b key /. baseline_fraction))
+        [ "zf_us"; "soft_us"; "cow_us"; "ext_us"; "wb_us" ]
+    end
+  | _ -> usage "check_e10");
+  finish "E10 fault breakdown within recorded floors"

@@ -39,6 +39,7 @@ let run_unix ~builds proj =
         results := m :: !results
       done);
   Engine.run sys.Kernel.engine;
+  note_registry sys.Kernel.kernel;
   List.rev !results
 
 (* Pager protocol traffic during the measured builds: messages sent
@@ -69,6 +70,7 @@ let run_mach ~builds proj =
                results := m :: !results
              done)));
   Engine.run sys.Kernel.engine;
+  note_registry sys.Kernel.kernel;
   let req0, in0 = !base in
   let traffic =
     { pt_requests = st.Vm_types.s_data_requests - req0; pt_pageins = st.Vm_types.s_pageins - in0 }
@@ -111,6 +113,7 @@ let run_writeback ~frames:wb_frames ~image_pages =
                  ignore (ok_exn "emit" (Syscalls.touch client ~addr:(addr + (i * page)) ~write:true ()))
                done)));
   Engine.run sys.Kernel.engine;
+  note_registry sys.Kernel.kernel;
   let w0, p0, l0 = !base in
   {
     wt_writes = st.Vm_types.s_data_writes - w0;

@@ -55,6 +55,7 @@ let run_camelot ~txns ~updates_per_txn =
                    p_data_ops = Disk.ops data_disk;
                  })));
   Engine.run sys.Kernel.engine;
+  note_registry sys.Kernel.kernel;
   match !result with Some r -> r | None -> failwith "E8 camelot run deadlocked"
 
 (* The strawman: no mapped recoverable memory, every update writes the
@@ -90,6 +91,7 @@ let run_write_through ~txns ~updates_per_txn =
             p_data_ops = Disk.ops data_disk;
           });
   Engine.run sys.Kernel.engine;
+  note_registry sys.Kernel.kernel;
   match !result with Some r -> r | None -> failwith "E8 write-through run deadlocked"
 
 (* Crash/recovery demonstration: commit one transaction, lose another,
@@ -108,6 +110,7 @@ let run_recovery () =
         let client = Task.create sys.Kernel.kernel ~name:"txn" () in
         ignore (Thread.spawn client ~name:"txn.main" (fun () -> out := Some (f cam client))));
     Engine.run sys.Kernel.engine;
+  note_registry sys.Kernel.kernel;
     match !out with Some r -> r | None -> failwith "E8 recovery epoch deadlocked"
   in
   epoch ~format:true (fun cam client ->

@@ -1,6 +1,13 @@
 (* E10 — §5.5: cost of each fault-handler path: zero-fill, soft
    (resident page, invalid translation), copy-on-write, external pager,
-   and pagein from the default pager after a pageout round trip. *)
+   and pagein from the default pager after a pageout round trip.
+
+   The per-fault numbers are TRACE REDUCTIONS: every fault opens a span
+   on the kernel's trace spine and closes it with its resolution kind,
+   so this experiment enables tracing, drives each phase, and derives
+   the per-path cost as the mean duration of the fault spans that
+   started inside that phase's window — the stopwatch and the causal
+   record are the same data. *)
 
 open Mach
 open Common
@@ -13,15 +20,23 @@ let run_body ~rounds =
   run_system (fun sys task ->
       let engine = sys.Kernel.engine in
       let kernel = sys.Kernel.kernel in
-      let per us = us /. float_of_int rounds in
+      let tr = Kernel.trace kernel in
+      Trace.set_enabled tr true;
+      (* Each phase records its sim-time window; the trace reduction
+         below attributes fault spans to phases by start time. *)
+      let windows = ref [] in
+      let phase name f =
+        let t0 = Engine.now engine in
+        let r = f () in
+        windows := (name, t0, Engine.now engine) :: !windows;
+        r
+      in
       (* Zero-fill faults: first touch of fresh anonymous pages. *)
       let zf_addr = Syscalls.vm_allocate task ~size:(rounds * page) ~anywhere:true () in
-      let (), zf_us =
-        timed engine (fun () ->
-            for i = 0 to rounds - 1 do
-              ignore (ok_exn "zf" (Syscalls.touch task ~addr:(zf_addr + (i * page)) ~write:true ()))
-            done)
-      in
+      phase "zf" (fun () ->
+          for i = 0 to rounds - 1 do
+            ignore (ok_exn "zf" (Syscalls.touch task ~addr:(zf_addr + (i * page)) ~write:true ()))
+          done);
       (* Soft faults: pages resident in the object but the hardware
          translations removed (e.g. after pmap eviction). *)
       (match Vm_map.pmap (Task.map task) with
@@ -30,26 +45,22 @@ let run_body ~rounds =
           Mach_hw.Pmap.remove pm ~vpn:((zf_addr + (i * page)) / page)
         done
       | None -> ());
-      let (), soft_us =
-        timed engine (fun () ->
-            for i = 0 to rounds - 1 do
-              ignore (ok_exn "soft" (Syscalls.touch task ~addr:(zf_addr + (i * page)) ~write:false ()))
-            done)
-      in
+      phase "soft" (fun () ->
+          for i = 0 to rounds - 1 do
+            ignore (ok_exn "soft" (Syscalls.touch task ~addr:(zf_addr + (i * page)) ~write:false ()))
+          done);
       (* COW faults: fork, then the child writes. *)
       let child = Task.create kernel ~parent:task ~name:"cow-child" () in
-      let cow_done = Ivar.create () in
-      ignore
-        (Thread.spawn child ~name:"cow-child.main" (fun () ->
-             let (), cow_us =
-               timed engine (fun () ->
-                   for i = 0 to rounds - 1 do
-                     ignore
-                       (ok_exn "cow" (Syscalls.touch child ~addr:(zf_addr + (i * page)) ~write:true ()))
-                   done)
-             in
-             Ivar.fill cow_done cow_us));
-      let cow_us = Ivar.read cow_done in
+      phase "cow" (fun () ->
+          let cow_done = Ivar.create () in
+          ignore
+            (Thread.spawn child ~name:"cow-child.main" (fun () ->
+                 for i = 0 to rounds - 1 do
+                   ignore
+                     (ok_exn "cow" (Syscalls.touch child ~addr:(zf_addr + (i * page)) ~write:true ()))
+                 done;
+                 Ivar.fill cow_done ()));
+          Ivar.read cow_done);
       (* External pager faults: a prompt user-level manager — a
          one-line runtime policy serving constant pages. *)
       let mgr_task = Task.create kernel ~name:"prompt-mgr" () in
@@ -67,12 +78,10 @@ let run_body ~rounds =
         Syscalls.vm_allocate_with_pager task ~size:(rounds * page) ~anywhere:true ~memory_object
           ~offset:0 ()
       in
-      let (), ext_us =
-        timed engine (fun () ->
-            for i = 0 to rounds - 1 do
-              ignore (ok_exn "ext" (Syscalls.touch task ~addr:(ext_addr + (i * page)) ~write:false ()))
-            done)
-      in
+      phase "ext" (fun () ->
+          for i = 0 to rounds - 1 do
+            ignore (ok_exn "ext" (Syscalls.touch task ~addr:(ext_addr + (i * page)) ~write:false ()))
+          done);
       (* Writeback pipeline: dirty a range behind a manager that delays
          its releases, have the manager ask for a clean, and refault
          mid-clean. The laundry queue absorbs the faulter (clean_hits);
@@ -107,13 +116,46 @@ let run_body ~rounds =
       Rt.clean_request wb_rt ~request:wb_req ~offset:0 ~length:(rounds * page);
       (* Let the kernel launder the runs, then refault mid-clean. *)
       Engine.sleep 500.0;
-      let (), wb_us =
-        timed engine (fun () ->
-            for i = 0 to rounds - 1 do
-              ignore
-                (ok_exn "wb-refault" (Syscalls.touch task ~addr:(wb_addr + (i * page)) ~write:true ()))
-            done)
+      phase "wb" (fun () ->
+          for i = 0 to rounds - 1 do
+            ignore
+              (ok_exn "wb-refault" (Syscalls.touch task ~addr:(wb_addr + (i * page)) ~write:true ()))
+          done);
+      (* ---- trace reduction ------------------------------------------ *)
+      let fault_spans =
+        List.filter
+          (fun sp -> sp.Trace.sp_sub = "vm" && sp.Trace.sp_label = "fault")
+          (Trace.spans tr)
       in
+      let phase_mean name =
+        let _, t0, t1 =
+          List.find (fun (n, _, _) -> n = name) !windows
+        in
+        let ds =
+          List.filter_map
+            (fun sp ->
+              if sp.Trace.sp_start >= t0 && sp.Trace.sp_start < t1 then
+                Some (sp.Trace.sp_end -. sp.Trace.sp_start)
+              else None)
+            fault_spans
+        in
+        match ds with
+        | [] -> 0.0
+        | _ -> List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)
+      in
+      (* Resolution mix: the close label of every fault span says which
+         slow-path step (if any) dominated its resolution. *)
+      let mix = Hashtbl.create 8 in
+      List.iter
+        (fun sp ->
+          let k = sp.Trace.sp_resolution in
+          Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k)))
+        fault_spans;
+      let mix =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let opens, closes = Trace.balance tr in
       (* Fault-pipeline counters: how the handler actually resolved the
          workload's faults (fast vs slow path, hint behaviour, clustered
          pager traffic, burst mappings, and the writeback laundry). *)
@@ -129,12 +171,14 @@ let run_body ~rounds =
         List.filter (fun (k, _) -> List.mem k wanted) (Vm_types.stats_to_list st)
       in
       ( [
-          ("zero-fill fault (anonymous memory)", per zf_us);
-          ("soft fault (resident page, pmap refill)", per soft_us);
-          ("copy-on-write fault (page copy + shadow)", per cow_us);
-          ("external pager fault (IPC round trip to manager)", per ext_us);
-          ("refault during clean (absorbed by laundry queue)", per wb_us);
+          ("zero-fill fault (anonymous memory)", phase_mean "zf");
+          ("soft fault (resident page, pmap refill)", phase_mean "soft");
+          ("copy-on-write fault (page copy + shadow)", phase_mean "cow");
+          ("external pager fault (IPC round trip to manager)", phase_mean "ext");
+          ("refault during clean (absorbed by laundry queue)", phase_mean "wb");
         ],
+        mix,
+        (opens, closes),
         counters,
         [
           ("prompt-mgr", Rt.Stats.to_list (Rt.stats prompt_rt));
@@ -142,12 +186,20 @@ let run_body ~rounds =
         ] ))
 
 let run () =
-  let rows, counters, pager_stats = run_body ~rounds:50 in
+  let rows, mix, (opens, closes), counters, pager_stats = run_body ~rounds:50 in
   let t =
-    Table.create ~title:"E10: fault-path cost breakdown (Section 5.5)"
-      ~columns:[ "fault type"; "simulated us per fault" ]
+    Table.create ~title:"E10: fault-path cost breakdown (trace spans, Section 5.5)"
+      ~columns:[ "fault type"; "simulated us per fault (mean span)" ]
   in
   List.iter (fun (k, v) -> Table.row t [ k; us v ]) rows;
+  let m =
+    Table.create
+      ~title:
+        (Printf.sprintf "E10: fault-span resolution mix (%d spans opened, %d closed)" opens
+           closes)
+      ~columns:[ "resolved via"; "spans" ]
+  in
+  List.iter (fun (k, v) -> Table.row m [ k; string_of_int v ]) mix;
   let c =
     Table.create
       ~title:
@@ -164,7 +216,20 @@ let run () =
   List.iter
     (fun (name, stats) -> Table.row s (name :: List.map (fun (_, v) -> string_of_int v) stats))
     pager_stats;
-  [ t; c; s ]
+  [ t; m; c; s ]
+
+let json () =
+  let rows, mix, (opens, closes), counters, _ = run_body ~rounds:25 in
+  let phase_keys =
+    List.map2
+      (fun key (_, v) -> (key, v))
+      [ "zf_us"; "soft_us"; "cow_us"; "ext_us"; "wb_us" ]
+      rows
+  in
+  phase_keys
+  @ List.map (fun (k, v) -> ("via_" ^ k, float_of_int v)) mix
+  @ [ ("spans_opened", float_of_int opens); ("spans_closed", float_of_int closes) ]
+  @ List.map (fun (k, v) -> (k, float_of_int v)) counters
 
 let experiment =
   {
@@ -176,5 +241,5 @@ let experiment =
        faults add a message round trip to the data manager (Section 5.5).";
     run;
     quick = (fun () -> ignore (run_body ~rounds:5));
-    json = None;
+    json = Some json;
   }

@@ -8,7 +8,12 @@
      cache access — no per-item kernel overhead;
    - loosely coupled (NORMA HyperCube, two hosts): messages ride the
      network natively; "shared memory" is the §4.2 coherence protocol,
-     whose ownership ping-pong pays invalidation round trips per item. *)
+     whose ownership ping-pong pays invalidation round trips per item.
+
+   Each mode's elapsed time is derived from a "bench" span on the trace
+   spine ([Common.spanned]), so the table's numbers are trace
+   reductions and every fault/IPC event of a phase is causally linked
+   to the phase that caused it. *)
 
 open Mach
 open Common
@@ -32,7 +37,7 @@ let uma_messages ~items ~item_size =
              done;
              Ivar.fill done_ ()));
       let (), elapsed =
-        timed sys.Kernel.engine (fun () ->
+        spanned sys.Kernel.kernel "uma_messages" (fun () ->
             for _ = 1 to items do
               ignore
                 (Syscalls.msg_send task
@@ -68,7 +73,7 @@ let uma_shared ~items ~item_size =
       ignore
         (Thread.spawn producer ~name:"producer.main" (fun () ->
              let (), elapsed =
-               timed sys.Kernel.engine (fun () ->
+               spanned sys.Kernel.kernel "uma_shared" (fun () ->
                    for _ = 1 to items do
                      Mach_sim.Semaphore.acquire empty;
                      ignore (ok_exn "produce" (Syscalls.write_bytes producer ~addr:buf payload ()));
@@ -102,7 +107,7 @@ let norma_messages ~items ~item_size =
       ignore
         (Thread.spawn producer ~name:"producer.main" (fun () ->
              let (), elapsed =
-               timed cluster.Kernel.c_engine (fun () ->
+               spanned cluster.Kernel.c_kernels.(0) "norma_messages" (fun () ->
                    for _ = 1 to items do
                      ignore
                        (Syscalls.msg_send producer
@@ -149,7 +154,7 @@ let norma_shared ~items ~item_size =
       ignore
         (Thread.spawn producer ~name:"producer.main" (fun () ->
              let (), elapsed =
-               timed cluster.Kernel.c_engine (fun () ->
+               spanned cluster.Kernel.c_kernels.(0) "norma_shared" (fun () ->
                    for _ = 1 to items do
                      Mach_sim.Semaphore.acquire empty;
                      ignore (ok_exn "produce" (Syscalls.write_bytes producer ~addr:p_addr payload ~policy ()));

@@ -79,21 +79,25 @@ let run_smoke selected =
     selected
 
 (* Machine-readable results: one flat {metric: number} object per
-   experiment that defines a [json] producer. Hand-rolled writer — the
-   values are plain floats and the format never nests deeper than two
-   levels, so no JSON library is needed. *)
+   experiment. Every experiment emits the shared registry-snapshot
+   schema — each "subsystem.counter" of every kernel its run booted,
+   prefixed "reg." — and an experiment with a [json] producer prepends
+   its own derived metrics. Hand-rolled writer — the values are plain
+   floats and the format never nests deeper than two levels, so no JSON
+   library is needed. *)
 let run_json path selected =
   let with_json =
-    List.filter_map
+    List.map
       (fun (e : Common.experiment) ->
-        match e.Common.json with
-        | Some f ->
-          Printf.printf "json %-4s %-28s ... %!" e.Common.id e.Common.title;
-          let t0 = Unix.gettimeofday () in
-          let kvs = f () in
-          Printf.printf "ok (%.2fs)\n%!" (Unix.gettimeofday () -. t0);
-          Some (e.Common.id, kvs)
-        | None -> None)
+        Printf.printf "json %-4s %-28s ... %!" e.Common.id e.Common.title;
+        let t0 = Unix.gettimeofday () in
+        Common.reset_collected ();
+        let own = match e.Common.json with Some f -> f () | None -> e.Common.quick (); [] in
+        let reg =
+          List.map (fun (k, v) -> ("reg." ^ k, v)) (Common.collected_registry ())
+        in
+        Printf.printf "ok (%.2fs)\n%!" (Unix.gettimeofday () -. t0);
+        (e.Common.id, own @ reg))
       selected
   in
   let oc = open_out path in

@@ -5,6 +5,8 @@
      machsim netmem   --pages 32 --ops 400 --write-ratio 0.1
      machsim migrate  --pages 128 --strategy cor --touched 0.5
      machsim machines
+     machsim stat     [--json]
+     machsim trace    [--filter vm] [--span N] [--limit 40]
 *)
 
 open Mach
@@ -269,6 +271,114 @@ let run_failures timeout_ms =
   Engine.run sys.Kernel.engine;
   if !ok then 0 else 1
 
+(* ---- stat / trace ------------------------------------------------------- *)
+
+(* The canned workload behind `machsim stat` and `machsim trace`: a
+   fault storm touching all the observability surfaces — anonymous
+   zero-fill, soft refaults after pmap eviction, and external-pager
+   faults that ride IPC to a user-level manager. Runs with tracing on
+   and returns the kernel for reduction. *)
+let run_storm ~rounds =
+  let sys = Kernel.create_system () in
+  let kernel = sys.Kernel.kernel in
+  Trace.set_enabled (Kernel.trace kernel) true;
+  Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
+      let task = Task.create kernel ~name:"storm" () in
+      ignore
+        (Thread.spawn task ~name:"storm.main" (fun () ->
+             let addr = Syscalls.vm_allocate task ~size:(rounds * page) ~anywhere:true () in
+             for i = 0 to rounds - 1 do
+               ignore (Syscalls.touch task ~addr:(addr + (i * page)) ~write:true ())
+             done;
+             (match Vm_map.pmap (Task.map task) with
+             | Some pm ->
+               for i = 0 to rounds - 1 do
+                 Mach_hw.Pmap.remove pm ~vpn:((addr + (i * page)) / page)
+               done
+             | None -> ());
+             for i = 0 to rounds - 1 do
+               ignore (Syscalls.touch task ~addr:(addr + (i * page)) ~write:false ())
+             done;
+             let mgr = Task.create kernel ~name:"file-mgr" () in
+             let policy =
+               {
+                 Pager_runtime.default_policy with
+                 Pager_runtime.p_read =
+                   (fun _ _ ~request:_ ~page:_ ~desired_access:_ ->
+                     Pager_runtime.Data (Bytes.make page 'f'));
+               }
+             in
+             let rt, srv = Pager_runtime.serve mgr policy in
+             let memory_object = Memory_object_server.create_memory_object srv () in
+             ignore (Pager_runtime.register rt ~memory_object ());
+             let ext =
+               Syscalls.vm_allocate_with_pager task ~size:(rounds * page) ~anywhere:true
+                 ~memory_object ~offset:0 ()
+             in
+             for i = 0 to rounds - 1 do
+               ignore (Syscalls.touch task ~addr:(ext + (i * page)) ~write:false ())
+             done)));
+  Engine.run sys.Kernel.engine;
+  kernel
+
+let run_stat rounds as_json =
+  let kernel = run_storm ~rounds in
+  if as_json then print_string (Metrics.to_json (Metrics.snapshot (Kernel.metrics kernel)))
+  else begin
+    let t =
+      Table.create ~title:"host metrics registry (vm_statistics superset)"
+        ~columns:[ "metric"; "value" ]
+    in
+    List.iter
+      (fun (k, v) ->
+        Table.row t
+          [ k; (if Float.is_integer v then Printf.sprintf "%.0f" v else Printf.sprintf "%.3f" v) ])
+      (Metrics.snapshot (Kernel.metrics kernel));
+    Table.print t
+  end;
+  0
+
+let run_trace rounds filter span limit =
+  let kernel = run_storm ~rounds in
+  let tr = Kernel.trace kernel in
+  let events =
+    List.filter
+      (fun ev ->
+        (match filter with Some sub -> ev.Trace.ev_sub = sub | None -> true)
+        && match span with Some id -> ev.Trace.ev_span = id | None -> true)
+      (Trace.events tr)
+  in
+  let total = List.length events in
+  let shown = match limit with Some n -> n | None -> total in
+  List.iteri
+    (fun i ev ->
+      if i < shown then
+        Printf.printf "%10.1f  cpu%d  span%-4d  %-6s %-5s %s\n" ev.Trace.ev_time
+          ev.Trace.ev_cpu ev.Trace.ev_span ev.Trace.ev_sub
+          (Trace.kind_to_string ev.Trace.ev_kind)
+          ev.Trace.ev_label)
+    events;
+  if shown < total then Printf.printf "... (%d more events; raise --limit)\n" (total - shown);
+  let opens, closes = Trace.balance tr in
+  Printf.printf "\n%d events buffered (%d dropped by ring), %d spans opened / %d closed\n"
+    (List.length (Trace.events tr))
+    (Trace.dropped tr) opens closes;
+  (* Per-fault latency percentiles, reduced from the vm fault spans. *)
+  let lat = Mach_util.Stats.create () in
+  List.iter
+    (fun sp ->
+      if sp.Trace.sp_sub = "vm" && sp.Trace.sp_label = "fault" then
+        Mach_util.Stats.add lat (Trace.span_duration sp))
+    (Trace.spans tr);
+  if Mach_util.Stats.count lat > 0 then
+    Printf.printf "fault latency (us): n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f\n"
+      (Mach_util.Stats.count lat) (Mach_util.Stats.mean lat)
+      (Mach_util.Stats.percentile lat 50.0)
+      (Mach_util.Stats.percentile lat 90.0)
+      (Mach_util.Stats.percentile lat 99.0)
+      (Mach_util.Stats.max lat);
+  0
+
 (* ---- machines ---------------------------------------------------------- *)
 
 let run_machines () =
@@ -341,9 +451,45 @@ let failures_cmd =
     (Cmd.info "failures" ~doc:"Inject an unresponsive data manager and show the s6 policies")
     Term.(const run_failures $ timeout)
 
+let stat_cmd =
+  let rounds = Arg.(value & opt int 40 & info [ "rounds" ] ~doc:"Pages touched per fault phase.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry snapshot as JSON.") in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Run a canned fault storm and dump the host's unified metrics registry (every \
+          subsystem.counter the vm, ipc and scheduler blocks export, plus each pager's stats)")
+    Term.(const run_stat $ rounds $ json)
+
+let trace_cmd =
+  let rounds = Arg.(value & opt int 40 & info [ "rounds" ] ~doc:"Pages touched per fault phase.") in
+  let filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~doc:"Only events of this subsystem (vm | ipc | sched | bench)."
+          ~docv:"SUBSYSTEM")
+  in
+  let span =
+    Arg.(value & opt (some int) None & info [ "span" ] ~doc:"Only events of this span id.")
+  in
+  let limit =
+    Arg.(value & opt (some int) (Some 40) & info [ "limit" ] ~doc:"Max events to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a canned fault storm with the causal trace enabled, dump the event spine \
+          (filterable by subsystem or span id) and reduce per-fault latency percentiles from \
+          the fault spans")
+    Term.(const run_trace $ rounds $ filter $ span $ limit)
+
 let main =
   let doc = "scenario runner for the simulated Mach kernel" in
   Cmd.group (Cmd.info "machsim" ~doc)
-    [ compile_cmd; netmem_cmd; migrate_cmd; machines_cmd; camelot_cmd; failures_cmd ]
+    [
+      compile_cmd; netmem_cmd; migrate_cmd; machines_cmd; camelot_cmd; failures_cmd; stat_cmd;
+      trace_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -15,6 +15,8 @@
     ]} *)
 
 module Engine = Mach_sim.Engine
+module Trace = Mach_sim.Trace
+module Metrics = Mach_util.Metrics
 module Ivar = Mach_sim.Ivar
 module Mailbox = Mach_sim.Mailbox
 module Semaphore = Mach_sim.Semaphore

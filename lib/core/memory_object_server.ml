@@ -125,10 +125,15 @@ let start ?(service_threads = 1) srv_task cb =
     Engine.spawn srv_task.t_kernel.k_engine
       ~name:(Printf.sprintf "%s.pager-service-%d" srv_task.t_name i)
       (fun () ->
+        let trace = srv_task.t_kernel.k_kctx.Mach_vm.Kctx.trace in
         let rec loop () =
           if t.running then begin
             (match Syscalls.msg_receive srv_task ~from:`Any () with
-            | Ok msg -> dispatch t cb msg
+            | Ok msg ->
+              (* Serve the request under the faulting thread's span: the
+                 manager's work is a leg of that fault's causal path. *)
+              Mach_sim.Trace.adopt trace msg.Message.header.Message.trace_span (fun () ->
+                  dispatch t cb msg)
             | Error _ -> ());
             loop ()
           end

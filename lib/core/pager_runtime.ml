@@ -30,10 +30,16 @@ let serve ?service_threads
     | Ok () -> Ok ()
     | Error _ -> Error ()
   in
+  let kctx = srv_task.t_kernel.k_kctx in
   let rt =
-    create ~name:srv_task.t_name
-      ~page_size:srv_task.t_kernel.k_kctx.Mach_vm.Kctx.page_size ~send policy
+    create ~name:srv_task.t_name ~page_size:kctx.Mach_vm.Kctx.page_size ~send policy
   in
+  (* Every user-level manager's stats block lands in the host registry
+     under its own namespace, e.g. "pager.vnode-pager.requests". *)
+  Mach_util.Metrics.register_source kctx.Mach_vm.Kctx.metrics
+    ~subsystem:("pager." ^ srv_task.t_name)
+    ~reset:(fun () -> Stats.reset (stats rt))
+    (fun () -> Stats.to_list (stats rt));
   let cb =
     {
       Mos.on_init =

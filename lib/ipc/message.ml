@@ -11,6 +11,7 @@ and header = {
   reply : port option;
   msg_id : int;
   mutable handoff : int option;  (* transport-set: delivered to a blocked receiver *)
+  mutable trace_span : int;  (* transport-set: sender's causal span id, -1 if none *)
 }
 
 and item =
@@ -34,7 +35,7 @@ type copy_payload += Net_copy of { nc_object : port }
 let copy_handle_bytes = 16
 
 let make ?reply ?(msg_id = 0) ~dest body =
-  { header = { dest; reply; msg_id; handoff = None }; body }
+  { header = { dest; reply; msg_id; handoff = None; trace_span = -1 }; body }
 
 let inline_bytes t =
   List.fold_left

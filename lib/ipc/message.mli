@@ -20,6 +20,10 @@ and header = {
           charge, and a non-negative value is a scheduler ticket for the
           donated processor ({!Mach_sim.Sched.claim_handoff}); [-1]
           marks a handoff with no processor reservation *)
+  mutable trace_span : int;
+      (** set by the transport when tracing: the sender's current
+          {!Mach_sim.Trace} span id, so receivers can {!Mach_sim.Trace.adopt}
+          it and causality crosses fibers and hosts; [-1] when unset *)
 }
 
 and item =

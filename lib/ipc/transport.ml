@@ -28,6 +28,16 @@ let fresh_ipc_stats () =
     s_spurious_wakeups = 0;
   }
 
+let reset_ipc_stats s =
+  s.s_msgs_sent <- 0;
+  s.s_bytes_copied <- 0;
+  s.s_bytes_mapped <- 0;
+  s.s_copyins <- 0;
+  s.s_lazy_copyout_faults <- 0;
+  s.s_rpc_fastpath <- 0;
+  s.s_handoffs <- 0;
+  s.s_spurious_wakeups <- 0
+
 let ipc_stats_to_list s =
   [
     ("msgs_sent", s.s_msgs_sent);
@@ -47,7 +57,21 @@ type node = {
   node_stats : ipc_stats;
   mutable node_sched : Sched.t option;
   mutable node_handoff_enabled : bool;
+  mutable node_trace : Mach_sim.Trace.t option;
 }
+
+(* Stamp an outgoing message with the sender's causal span (unless a
+   layer above stamped it already) and mark the send; the receive side
+   adopts the id, so one span threads a fault through its pager RPC. *)
+let trace_send node msg ~local =
+  match node.node_trace with
+  | Some tr when Mach_sim.Trace.enabled tr ->
+    let hdr = msg.Message.header in
+    if hdr.Message.trace_span < 0 then hdr.Message.trace_span <- Mach_sim.Trace.current tr;
+    Mach_sim.Trace.point tr
+      ~span:hdr.Message.trace_span ~subsystem:"ipc"
+      (if local then "send" else "send_remote")
+  | Some _ | None -> ()
 
 (* All IPC CPU costs contend for the host's processors when a scheduler
    is wired up; bare nodes (unit tests) keep the old un-contended
@@ -131,9 +155,12 @@ let send node ?timeout msg =
     stats.s_bytes_mapped <- stats.s_bytes_mapped + Message.mapped_bytes msg;
     (* The port may have died while we were copying. *)
     if not (Port.alive dest) then Error Send_invalid_port
-    else if Port.home dest = node.node_host then
+    else if Port.home dest = node.node_host then begin
+      trace_send node msg ~local:true;
       enqueue_local node ?timeout ~donate:node.node_handoff_enabled dest msg
+    end
     else begin
+      trace_send node msg ~local:false;
       (* Remote destination: hand the message to the network; the
          sender does not wait for remote queueing (netmsg-server
          style). Only [wire_bytes] transit — copy-object pages stay
@@ -162,6 +189,14 @@ let insert_caps space msg =
    claims the reservation so its next compute burst starts on the
    donated CPU without touching a run queue. *)
 let charge_receive node msg =
+  (match node.node_trace with
+  | Some tr when Mach_sim.Trace.enabled tr ->
+    Mach_sim.Trace.point tr
+      ~span:msg.Message.header.Message.trace_span ~subsystem:"ipc"
+      (match msg.Message.header.Message.handoff with
+      | Some _ -> "recv_handoff"
+      | None -> "recv")
+  | Some _ | None -> ());
   match msg.Message.header.Message.handoff with
   | Some ticket ->
     msg.Message.header.Message.handoff <- None;

@@ -31,6 +31,9 @@ type ipc_stats = {
 val fresh_ipc_stats : unit -> ipc_stats
 val ipc_stats_to_list : ipc_stats -> (string * int) list
 
+val reset_ipc_stats : ipc_stats -> unit
+(** Zero every counter (the registry's shared reset idiom). *)
+
 type node = {
   node_host : int;  (** host id of the calling task *)
   node_params : Mach_hw.Machine.params;
@@ -46,6 +49,12 @@ type node = {
           nor mark the message, so every receive pays the full
           context-switch charge — the ablation arm for measuring what
           handoff scheduling saves. Defaults to [true]. *)
+  mutable node_trace : Mach_sim.Trace.t option;
+      (** when set and enabled, {!send} stamps the sender's current
+          span id into the header (unless already stamped) and emits
+          "ipc" [send]/[send_remote] points; receives emit
+          [recv]/[recv_handoff] points attributed to the carried
+          span. [None] (bare test nodes) traces nothing. *)
 }
 
 type send_error =

@@ -141,6 +141,9 @@ let start kctx ~disk =
     { kctx; disk; space; node; rt; free_blocks = Queue.create (); stored = 0 }
   in
   t_ref := Some t;
+  Mach_util.Metrics.register_source kctx.Kctx.metrics ~subsystem:"pager.default-pager"
+    ~reset:(fun () -> Rt.Stats.reset (Rt.stats rt))
+    (fun () -> Rt.Stats.to_list (Rt.stats rt));
   for b = 0 to Disk.blocks disk - 1 do
     Queue.add b t.free_blocks
   done;
@@ -170,7 +173,9 @@ let start kctx ~disk =
   Engine.spawn kctx.Kctx.engine ~name:"default-pager" (fun () ->
       let rec loop () =
         (match Transport.receive t.node t.space ~from:`Any () with
-        | Ok msg -> handle t msg
+        | Ok msg ->
+          Mach_sim.Trace.adopt kctx.Kctx.trace
+            msg.Message.header.Message.trace_span (fun () -> handle t msg)
         | Error _ -> ());
         loop ()
       in

@@ -25,11 +25,12 @@ let default_config =
     pager_timeout_us = 2_000_000.0;
   }
 
-let boot engine ctx net ~host config =
+let boot engine ctx net ?trace ~host config =
   let mem = Phys_mem.create ~frames:config.phys_frames ~page_size:config.page_size in
   let kctx =
     Kctx.create engine ctx ~host ~params:config.params ~mem
-      ?reserved_frames:config.reserved_frames ~pager_timeout_us:config.pager_timeout_us ()
+      ?reserved_frames:config.reserved_frames ~pager_timeout_us:config.pager_timeout_us
+      ?trace ()
   in
   Mach_vm.Pager_client.install kctx;
   let paging_disk =
@@ -92,10 +93,16 @@ let create_cluster ~hosts ?(config = default_config) ?net_latency_us ?net_us_per
   in
   let net = Net.create engine ~latency_us:latency ~us_per_byte:per_byte () in
   let ctx = Mach_ipc.Context.create engine net in
-  let kernels = Array.init hosts (fun host -> boot engine ctx net ~host config) in
+  (* One trace for the whole cluster: spans that cross hosts (NORMA
+     faults served by a remote manager) land in one buffer in causal
+     order. Each host keeps its own metrics registry. *)
+  let trace = Mach_sim.Trace.create engine in
+  let kernels = Array.init hosts (fun host -> boot engine ctx net ~trace ~host config) in
   { c_engine = engine; c_ctx = ctx; c_net = net; c_kernels = kernels }
 
 let kctx k = k.k_kctx
 let stats k = k.k_kctx.Kctx.stats
 let engine k = k.k_engine
 let free_frames k = Phys_mem.free_frames k.k_kctx.Kctx.mem
+let metrics k = k.k_kctx.Kctx.metrics
+let trace k = k.k_kctx.Kctx.trace

@@ -19,7 +19,15 @@ val default_config : config
     area, 2 s manager timeout. *)
 
 val boot :
-  Mach_sim.Engine.t -> Mach_ipc.Context.t -> Mach_hw.Net.t -> host:int -> config -> kernel
+  Mach_sim.Engine.t ->
+  Mach_ipc.Context.t ->
+  Mach_hw.Net.t ->
+  ?trace:Mach_sim.Trace.t ->
+  host:int ->
+  config ->
+  kernel
+(** [trace] lets several hosts share one causal trace spine;
+    {!create_cluster} passes the same trace to every boot. *)
 
 (** A self-contained single-host system (most tests and examples). *)
 type system = {
@@ -52,3 +60,10 @@ val kctx : kernel -> Mach_vm.Kctx.t
 val stats : kernel -> Mach_vm.Vm_types.stats
 val engine : kernel -> Mach_sim.Engine.t
 val free_frames : kernel -> int
+
+val metrics : kernel -> Mach_util.Metrics.registry
+(** The host's unified metrics registry (vm/ipc/sched sources plus any
+    pagers started on this host). *)
+
+val trace : kernel -> Mach_sim.Trace.t
+(** The causal trace spine (shared across a cluster's kernels). *)

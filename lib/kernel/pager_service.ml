@@ -6,7 +6,11 @@ let start (kctx : Kctx.t) =
   Engine.spawn kctx.Kctx.engine ~name:"pager-service" (fun () ->
       let rec loop () =
         (match Transport.receive kctx.Kctx.node kctx.Kctx.kspace ~from:`Any () with
-        | Ok msg -> Mach_vm.Pager_client.handle_manager_message kctx msg
+        | Ok msg ->
+          (* Process the manager's reply under the fault's span so the
+             resolution leg of the duality path stays causally linked. *)
+          Mach_sim.Trace.adopt kctx.Kctx.trace msg.Mach_ipc.Message.header.Mach_ipc.Message.trace_span
+            (fun () -> Mach_vm.Pager_client.handle_manager_message kctx msg)
         | Error _ -> ());
         loop ()
       in

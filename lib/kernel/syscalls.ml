@@ -192,6 +192,13 @@ let vm_statistics t =
     vs_stats = kctx.Kctx.stats;
   }
 
+(* The registry-backed superset of [vm_statistics]: one flat snapshot
+   covering every subsystem the host registers (vm, ipc, sched, each
+   pager). Charged like any other syscall. *)
+let host_statistics t =
+  enter t;
+  Mach_util.Metrics.snapshot t.t_kernel.k_kctx.Kctx.metrics
+
 (* --- Table 3-4 ---------------------------------------------------------- *)
 
 let vm_allocate_with_pager t ?addr ~size ~anywhere ~memory_object ~offset () =

@@ -82,6 +82,11 @@ type vm_statistics = {
 
 val vm_statistics : task -> vm_statistics
 
+val host_statistics : task -> Mach_util.Metrics.snapshot
+(** The unified observability syscall: a flat snapshot of the host's
+    whole metrics registry — every "subsystem.counter" the vm, ipc and
+    scheduler blocks export, plus each running pager's stats block. *)
+
 (** {2 Table 3-4: external memory management} *)
 
 val vm_allocate_with_pager :

@@ -154,5 +154,13 @@ let blocked_names t =
 
 let suspend register = Effect.perform (Suspend register)
 let self_name () = Effect.perform Self_name
+
+(* Timer callbacks ([schedule]) and code outside [run] are not fibers;
+   performing an effect there raises. Observability plumbing (Trace)
+   wants "whoever is running, if anyone" without caring. *)
+let self_name_opt () =
+  match Effect.perform Self_name with
+  | name -> Some name
+  | exception Effect.Unhandled Self_name -> None
 let sleep delay = suspend (fun t k -> schedule t ~at:(t.now +. delay) (fun () -> k ()))
 let yield () = sleep 0.0

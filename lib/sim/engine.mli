@@ -41,6 +41,11 @@ val blocked_names : t -> string list
 val self_name : unit -> string
 (** Name of the calling simulated thread. *)
 
+val self_name_opt : unit -> string option
+(** Like {!self_name}, but [None] when called outside a simulated
+    thread (e.g. from a {!schedule} timer callback) instead of
+    raising. *)
+
 val sleep : float -> unit
 (** Block the calling thread for the given number of simulated
     microseconds. Must be called from inside a thread. *)

@@ -57,6 +57,20 @@ let fresh_stats () =
     s_idle_with_waiter = 0;
   }
 
+let reset_stats s =
+  s.s_switches <- 0;
+  s.s_preemptions <- 0;
+  s.s_migrations <- 0;
+  s.s_steals <- 0;
+  s.s_handoff_claims <- 0;
+  s.s_handoff_expired <- 0;
+  s.s_affinity_hits <- 0;
+  s.s_direct_dispatches <- 0;
+  s.s_enqueues <- 0;
+  s.s_queue_depth_peak <- 0;
+  s.s_queue_depth_sum <- 0;
+  s.s_idle_with_waiter <- 0
+
 let stats_to_list s =
   [
     ("switches", s.s_switches);
@@ -96,6 +110,7 @@ type t = {
   quantum_us : float;
   context_switch_us : float;
   stats : stats;
+  mutable trace : Trace.t option;
 }
 
 let create eng ~cpus ?(quantum_us = 10_000.0) ~context_switch_us () =
@@ -120,10 +135,24 @@ let create eng ~cpus ?(quantum_us = 10_000.0) ~context_switch_us () =
     quantum_us;
     context_switch_us;
     stats = fresh_stats ();
+    trace = None;
   }
 
 let cpu_count t = Array.length t.cpus
 let stats t = t.stats
+let set_trace t tr = t.trace <- tr
+
+(* Which processor (if any) a named thread currently occupies — the
+   trace's CPU-stamping hook. *)
+let running_cpu t name =
+  let found = ref None in
+  Array.iter (fun c -> if !found = None && c.c_running = Some name then found := Some c.c_id) t.cpus;
+  !found
+
+let trace_point t label =
+  match t.trace with
+  | Some tr when Trace.enabled tr -> Trace.point tr ~subsystem:"sched" label
+  | Some _ | None -> ()
 let busy_us t = Array.fold_left (fun acc c -> acc +. c.c_busy_us) 0.0 t.cpus
 let queued t = Array.fold_left (fun acc c -> acc + Queue.length c.c_runq) 0 t.cpus
 
@@ -271,6 +300,7 @@ let rec run_burst t cpu name remaining =
     (* Quantum expired with local contention: preempt. Requeue at the
        tail first so the dispatch below picks the earlier waiter. *)
     t.stats.s_preemptions <- t.stats.s_preemptions + 1;
+    trace_point t "preempt";
     note_affinity t cpu name;
     let cpu' =
       Engine.suspend (fun _eng k ->
@@ -287,6 +317,11 @@ let compute t us =
   if us > 0.0 then begin
     let name = Engine.self_name () in
     let cpu, entry = acquire t name in
+    trace_point t
+      (match entry with
+      | Entry_direct -> "enter_direct"
+      | Entry_queued -> "enter_queued"
+      | Entry_handoff -> "enter_handoff");
     (match entry with
     | Entry_queued -> charge_switch t cpu
     | Entry_direct | Entry_handoff -> ());
@@ -313,6 +348,7 @@ let donate t =
       let r = { r_ticket = ticket; r_for = None } in
       cpu.c_reserved <- Some r;
       Hashtbl.replace t.reservations ticket cpu;
+      trace_point t "donate";
       Engine.schedule t.eng
         ~at:(Engine.now t.eng +. reserve_window t)
         (fun () ->

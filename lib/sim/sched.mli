@@ -61,6 +61,18 @@ val cpu_count : t -> int
 val stats : t -> stats
 val stats_to_list : stats -> (string * int) list
 
+val reset_stats : stats -> unit
+(** Zero every counter (the registry's shared reset idiom). *)
+
+val set_trace : t -> Trace.t option -> unit
+(** Wire the host's trace: acquire entries ([enter_direct] /
+    [enter_queued] / [enter_handoff]), preemptions and donations emit
+    "sched" points attributed to the computing fiber's current span. *)
+
+val running_cpu : t -> string -> int option
+(** The processor a named thread currently occupies, if any — the
+    trace's CPU-stamping hook. *)
+
 val busy_us : t -> float
 (** Total processor-busy time accumulated across all CPUs (compute
     slices plus charged context switches). Utilisation over a window of

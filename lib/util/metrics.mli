@@ -1,0 +1,72 @@
+(** Unified metrics registry: every subsystem's counters behind one
+    snapshot/reset/serialize surface.
+
+    Hot paths keep their cost profile: a subsystem's existing mutable
+    stats record is itself the set of pre-registered O(1) handles — the
+    registry holds a read closure over it ({!register_source}) and is
+    never on the increment path. Metrics with no record to live in use
+    a direct {!counter} (one mutable int), a sampled {!gauge} (a
+    closure read at snapshot time), or a {!histogram} (a {!Stats.t}
+    reduced to count/mean/p50/p95/max at snapshot time).
+
+    Keys are ["subsystem.name"]; a snapshot is flat and sorted, so one
+    JSON serializer covers the syscall surface, the bench harness and
+    the CLI. Registering two sources under one subsystem (e.g. several
+    pagers named alike) sums their values. *)
+
+type registry
+type snapshot = (string * float) list
+
+type counter
+(** A pre-registered monotone counter handle: one mutable int. *)
+
+type histogram
+(** A pre-registered sample accumulator; snapshots expand it into
+    [.count], [.mean], [.p50], [.p95] and [.max] keys (the latter four
+    only when non-empty). *)
+
+val create : unit -> registry
+
+val counter : registry -> subsystem:string -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : registry -> subsystem:string -> string -> (unit -> int) -> unit
+(** A sampled value (queue depth, free frames): the closure runs at
+    snapshot time, never on a hot path. *)
+
+val histogram : registry -> subsystem:string -> string -> histogram
+val observe : histogram -> float -> unit
+val histogram_samples : histogram -> Stats.t
+(** The raw accumulator, for percentile queries beyond the snapshot's
+    fixed set. *)
+
+val register_source :
+  registry -> subsystem:string -> ?reset:(unit -> unit) -> (unit -> (string * int) list) -> unit
+(** Adopt an existing stats block: [read] is typically the block's
+    [stats_to_list]; [reset] (when given) is invoked by {!reset} so
+    every subsystem shares one zeroing idiom. *)
+
+val snapshot : registry -> snapshot
+(** Flat, sorted; duplicate keys summed. *)
+
+val reset : registry -> unit
+(** Zero counters and histograms and run every source's [reset]
+    closure. Gauges are live values and are left alone. *)
+
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** Pointwise [after - before] over [after]'s keys (missing [before]
+    keys count as 0). Meaningful for monotone counters; histogram
+    percentile keys subtract numerically like everything else. *)
+
+val merge : snapshot list -> snapshot
+(** Pointwise sum over the union of keys (e.g. the hosts of a
+    cluster). *)
+
+val find : snapshot -> string -> float option
+val get : ?default:float -> snapshot -> string -> float
+val to_list : snapshot -> (string * float) list
+
+val to_json : ?indent:int -> snapshot -> string
+(** One ["key": number] pair per line, flat — the same shape the bench
+    harness's gate scripts line-parse. *)

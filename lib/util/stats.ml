@@ -89,22 +89,3 @@ module Histogram = struct
     done;
     Buffer.contents buf
 end
-
-module Counters = struct
-  type c = (string, int ref) Hashtbl.t
-
-  let create () : c = Hashtbl.create 32
-
-  let incr c ?(by = 1) name =
-    match Hashtbl.find_opt c name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.add c name (ref by)
-
-  let get c name = match Hashtbl.find_opt c name with Some r -> !r | None -> 0
-
-  let to_list c =
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-  let reset c = Hashtbl.reset c
-end

@@ -33,16 +33,5 @@ module Histogram : sig
   (** ASCII rendering, one line per bucket. *)
 end
 
-(** Monotonic counters keyed by name, for kernel statistics
-    (vm_statistics-style reporting). *)
-module Counters : sig
-  type c
-
-  val create : unit -> c
-  val incr : c -> ?by:int -> string -> unit
-  val get : c -> string -> int
-  val to_list : c -> (string * int) list
-  (** Sorted by name. *)
-
-  val reset : c -> unit
-end
+(* Named monotone counters used to live here ([Counters]); the one
+   counters API in the tree is now {!Metrics}. *)

@@ -1,5 +1,7 @@
 open Vm_types
 module Engine = Mach_sim.Engine
+module Trace = Mach_sim.Trace
+module Metrics = Mach_util.Metrics
 module Waitq = Mach_sim.Waitq
 module Prot = Mach_hw.Prot
 module Pmap = Mach_hw.Pmap
@@ -50,6 +52,15 @@ let handle kctx map ~addr ~write ?policy () =
     | Some pm -> pm
   in
   stats.s_faults <- stats.s_faults + 1;
+  (* The causal span of this fault: opened before any charge, closed
+     with the resolution kind. The id rides in every message this fault
+     causes (pager_data_request, the manager's reply), so the whole
+     duality path — fault → IPC → manager → IPC → resolution — reduces
+     from the trace. [via] tracks the dominant resolution step. *)
+  let tr = kctx.Kctx.trace in
+  let span = Trace.span_open tr ~subsystem:"vm" ~label:"fault" in
+  let t_entry = Engine.now engine in
+  let via = ref "fast" in
   Kctx.charge kctx kctx.Kctx.params.Machine.fault_base_us;
   (* Timed wait helper: false when the policy's deadline passes first.
      Waits on the default pager are never aborted — it is "a trusted
@@ -185,13 +196,15 @@ let handle kctx map ~addr ~write ?policy () =
   (* ---- SLOW PATH -------------------------------------------------- *)
   let rec resolve tries =
     if tries > 512 then Pager_error
-    else
+    else begin
+      Trace.point tr ~subsystem:"vm" "map_lookup";
       match Vm_map.lookup ~count:false map ~addr ~write with
       | Error `Invalid_address -> Invalid_address
       | Error `Protection -> Protection_failure
       | Ok lk -> (
         let first_obj = lk.Vm_map.lk_obj in
         let first_off = lk.Vm_map.lk_offset in
+        Trace.point tr ~subsystem:"vm" "shadow_walk";
         match Vm_object.lookup_chain first_obj ~offset:first_off with
         | Some (page, _owner, depth) ->
           if page.busy then slow_busy page tries
@@ -207,12 +220,14 @@ let handle kctx map ~addr ~write ?policy () =
           match Vm_object.chain_has_pager first_obj ~offset:first_off with
           | Some (powner, poffset) -> slow_pager powner poffset tries
           | None -> slow_zero_fill first_obj first_off tries))
+    end
   (* Data in transit (or another faulter working the page): wait and
      retry. A speculative cluster placeholder is promoted to a demanded
      page first — the manager may have answered the cluster request
      only partially, so it is asked again for this page alone. *)
   and slow_busy page tries =
     stats.s_slow_busy <- stats.s_slow_busy + 1;
+    via := (if page.q_state = Q_laundry then "clean_hit" else "busy");
     (* Refault on a busy-cleaning page: absorbed by the laundry
        machinery — the old pipeline would have detached the page and
        round-tripped a fresh data_request to the manager. *)
@@ -231,6 +246,7 @@ let handle kctx map ~addr ~write ?policy () =
       | Zero_fill_after _ | Wait_forever | Abort_after _ -> Pager_error
   (* A previous pager interaction failed for this page. *)
   and slow_error page tries =
+    via := "error";
     match policy with
     | Zero_fill_after _ ->
       zero_fill_placeholder page;
@@ -240,6 +256,7 @@ let handle kctx map ~addr ~write ?policy () =
      ask for an unlock and wait for pager_data_lock. *)
   and slow_lock page tries =
     stats.s_slow_lock <- stats.s_slow_lock + 1;
+    via := "lock";
     let owner = page.p_obj in
     if dead_pager owner then
       (* The unlock can never arrive. Anonymous-style objects shed the
@@ -270,6 +287,7 @@ let handle kctx map ~addr ~write ?policy () =
   (* Copy-on-write: the page lives in a backing object; give the first
      object its own copy (§5.5). *)
   and slow_cow first_obj first_off page tries =
+    via := "cow";
     let frame = Kctx.alloc_frame kctx ~privileged:false in
     (* The source may have been freed while we slept in alloc_frame;
        retry if so. *)
@@ -299,6 +317,7 @@ let handle kctx map ~addr ~write ?policy () =
      issue a (possibly clustered) pager_data_request and wait. *)
   and slow_pager powner poffset tries =
     stats.s_slow_pager <- stats.s_slow_pager + 1;
+    via := "pager";
     if dead_pager powner then
       (* The manager is gone: resolve locally and deterministically
          instead of requesting and waiting out a timeout. *)
@@ -340,6 +359,7 @@ let handle kctx map ~addr ~write ?policy () =
     end
   (* Not resident, no manager anywhere in the chain: fresh zeroes. *)
   and slow_zero_fill first_obj first_off tries =
+    via := "zero_fill";
     let frame = Kctx.alloc_frame kctx ~privileged:false in
     if Hashtbl.mem first_obj.obj_pages first_off then begin
       (* Someone beat us to it while we waited for memory. *)
@@ -356,22 +376,34 @@ let handle kctx map ~addr ~write ?policy () =
     end
   in
   (* ---- dispatch ---------------------------------------------------- *)
-  match Vm_map.lookup map ~addr ~write with
-  | Error `Invalid_address -> Invalid_address
-  | Error `Protection -> Protection_failure
-  | Ok lk -> (
-    (* Faults against entries created by a lazy message copy-out are the
-       deferred half of the transfer: count them separately so the
-       copyin-vs-materialization balance shows in the IPC stats. *)
-    if lk.Vm_map.lk_from_copy then begin
-      let is = kctx.Kctx.node.Mach_ipc.Transport.node_stats in
-      is.Mach_ipc.Transport.s_lazy_copyout_faults <-
-        is.Mach_ipc.Transport.s_lazy_copyout_faults + 1
-    end;
-    match Vm_object.lookup_chain lk.Vm_map.lk_obj ~offset:lk.Vm_map.lk_offset with
-    | Some (page, _owner, depth)
-      when (not page.busy) && (not page.absent) && (not page.p_error)
-           && (not (lock_forbids page))
-           && not (write && depth > 0) ->
-      fast_finish lk page ~from_backing:(depth > 0)
-    | Some _ | None -> resolve 0)
+  Trace.point tr ~subsystem:"vm" "map_lookup";
+  let result =
+    match Vm_map.lookup map ~addr ~write with
+    | Error `Invalid_address -> Invalid_address
+    | Error `Protection -> Protection_failure
+    | Ok lk -> (
+      (* Faults against entries created by a lazy message copy-out are the
+         deferred half of the transfer: count them separately so the
+         copyin-vs-materialization balance shows in the IPC stats. *)
+      if lk.Vm_map.lk_from_copy then begin
+        let is = kctx.Kctx.node.Mach_ipc.Transport.node_stats in
+        is.Mach_ipc.Transport.s_lazy_copyout_faults <-
+          is.Mach_ipc.Transport.s_lazy_copyout_faults + 1
+      end;
+      Trace.point tr ~subsystem:"vm" "shadow_walk";
+      match Vm_object.lookup_chain lk.Vm_map.lk_obj ~offset:lk.Vm_map.lk_offset with
+      | Some (page, _owner, depth)
+        when (not page.busy) && (not page.absent) && (not page.p_error)
+             && (not (lock_forbids page))
+             && not (write && depth > 0) ->
+        fast_finish lk page ~from_backing:(depth > 0)
+      | Some _ | None -> resolve 0)
+  in
+  (match result with
+  | Done -> ()
+  | Invalid_address -> via := "invalid_address"
+  | Protection_failure -> via := "protection"
+  | Pager_error -> via := "pager_error");
+  Trace.span_close tr ~subsystem:"vm" ~label:!via span;
+  Metrics.observe kctx.Kctx.fault_hist (Engine.now engine -. t_entry);
+  result

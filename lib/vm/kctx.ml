@@ -1,7 +1,9 @@
 open Vm_types
 module Engine = Mach_sim.Engine
 module Sched = Mach_sim.Sched
+module Trace = Mach_sim.Trace
 module Waitq = Mach_sim.Waitq
+module Metrics = Mach_util.Metrics
 module Phys_mem = Mach_hw.Phys_mem
 module Pmap = Mach_hw.Pmap
 module Port_space = Mach_ipc.Port_space
@@ -18,6 +20,9 @@ type t = {
   kspace : Port_space.t;
   queues : Page_queues.t;
   stats : stats;
+  metrics : Metrics.registry;
+  trace : Trace.t;
+  fault_hist : Metrics.histogram;
   objects_by_port : (int, obj) Hashtbl.t;
   objects_by_request : (int, obj) Hashtbl.t;
   mutable cached_objects : obj list;
@@ -112,7 +117,8 @@ let default_terminator t obj =
       end)
     pages
 
-let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2_000_000.0) () =
+let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2_000_000.0)
+    ?metrics ?trace () =
   let reserved =
     match reserved_frames with
     | Some r -> r
@@ -123,6 +129,49 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
       ~quantum_us:params.Mach_hw.Machine.quantum_us
       ~context_switch_us:params.Mach_hw.Machine.context_switch_us ()
   in
+  (* The host's observability spine: a metrics registry (per host) and
+     a causal trace (shared across a cluster's hosts when the caller
+     passes one trace to every boot). *)
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let trace = match trace with Some tr -> tr | None -> Trace.create engine in
+  Sched.set_trace sched (Some trace);
+  Trace.add_cpu_hook trace (fun name ->
+      match Sched.running_cpu sched name with Some c -> c | None -> -1);
+  let stats = fresh_stats () in
+  let node =
+    {
+      Mach_ipc.Transport.node_host = host;
+      node_params = params;
+      node_page_size = Phys_mem.page_size mem;
+      node_stats = Mach_ipc.Transport.fresh_ipc_stats ();
+      node_sched = Some sched;
+      node_handoff_enabled = true;
+      node_trace = Some trace;
+    }
+  in
+  let queues = Page_queues.create () in
+  (* The existing mutable stats blocks are the registry's O(1) handles:
+     register each as a source so snapshot/reset cover every subsystem
+     without touching any increment site. *)
+  Metrics.register_source metrics ~subsystem:"vm"
+    ~reset:(fun () -> reset_stats stats)
+    (fun () -> stats_to_list stats);
+  Metrics.register_source metrics ~subsystem:"ipc"
+    ~reset:(fun () -> Mach_ipc.Transport.reset_ipc_stats node.Mach_ipc.Transport.node_stats)
+    (fun () ->
+      Mach_ipc.Transport.ipc_stats_to_list node.Mach_ipc.Transport.node_stats);
+  Metrics.register_source metrics ~subsystem:"sched"
+    ~reset:(fun () -> Sched.reset_stats (Sched.stats sched))
+    (fun () -> Sched.stats_to_list (Sched.stats sched));
+  Metrics.gauge metrics ~subsystem:"vm" "free_frames" (fun () -> Phys_mem.free_frames mem);
+  Metrics.gauge metrics ~subsystem:"vm" "active_pages" (fun () ->
+      Page_queues.active_count queues);
+  Metrics.gauge metrics ~subsystem:"vm" "inactive_pages" (fun () ->
+      Page_queues.inactive_count queues);
+  Metrics.gauge metrics ~subsystem:"vm" "laundry_pages" (fun () ->
+      Page_queues.laundry_count queues);
+  Metrics.gauge metrics ~subsystem:"sched" "run_queued" (fun () -> Sched.queued sched);
+  let fault_hist = Metrics.histogram metrics ~subsystem:"vm" "fault_us" in
   {
     engine;
     ctx;
@@ -131,18 +180,13 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
     sched;
     mem;
     page_size = Phys_mem.page_size mem;
-    node =
-      {
-        Mach_ipc.Transport.node_host = host;
-        node_params = params;
-        node_page_size = Phys_mem.page_size mem;
-        node_stats = Mach_ipc.Transport.fresh_ipc_stats ();
-        node_sched = Some sched;
-        node_handoff_enabled = true;
-      };
+    node;
     kspace = Port_space.create ctx ~home:host;
-    queues = Page_queues.create ();
-    stats = fresh_stats ();
+    queues;
+    stats;
+    metrics;
+    trace;
+    fault_hist;
     objects_by_port = Hashtbl.create 64;
     objects_by_request = Hashtbl.create 64;
     cached_objects = [];

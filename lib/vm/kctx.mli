@@ -22,6 +22,16 @@ type t = {
   kspace : Mach_ipc.Port_space.t;  (** the kernel task's port space *)
   queues : Page_queues.t;
   stats : stats;
+  metrics : Mach_util.Metrics.registry;
+      (** the host's unified registry: the vm/ipc/sched stats blocks are
+          registered as sources at creation, pagers add theirs as they
+          start; snapshot it for a vm_statistics-style full report *)
+  trace : Mach_sim.Trace.t;
+      (** the causal trace spine (shared across hosts in a cluster);
+          disabled by default *)
+  fault_hist : Mach_util.Metrics.histogram;
+      (** per-fault latency in simulated us, observed by every
+          {!Fault.handle} *)
   objects_by_port : (int, obj) Hashtbl.t;  (** memory-object port id → obj *)
   objects_by_request : (int, obj) Hashtbl.t;  (** pager-request port id → obj *)
   mutable cached_objects : obj list;  (** unreferenced but persisting *)
@@ -62,8 +72,13 @@ val create :
   mem:Mach_hw.Phys_mem.t ->
   ?reserved_frames:int ->
   ?pager_timeout_us:float ->
+  ?metrics:Mach_util.Metrics.registry ->
+  ?trace:Mach_sim.Trace.t ->
   unit ->
   t
+(** [metrics] and [trace] default to fresh instances; a cluster passes
+    one shared trace so cross-host spans land in one buffer, while each
+    host keeps its own registry (merge snapshots for cluster totals). *)
 
 val fresh_obj_id : t -> int
 

@@ -187,6 +187,7 @@ let send_data_request kctx p ~offset ~length ~desired_access =
     match p.request_port with Some r -> r | None -> invalid_arg "data_request: not initialized"
   in
   kctx.Kctx.stats.s_data_requests <- kctx.Kctx.stats.s_data_requests + 1;
+  Mach_sim.Trace.point kctx.Kctx.trace ~subsystem:"vm" "data_request";
   kernel_send kctx
     (Pager_iface.encode_k2m ~reply:None
        (Pager_iface.Data_request

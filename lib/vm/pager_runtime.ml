@@ -46,6 +46,16 @@ module Stats = struct
       s_port_deaths = 0;
     }
 
+  let reset s =
+    s.s_requests <- 0;
+    s.s_pages_served <- 0;
+    s.s_unavailable <- 0;
+    s.s_writes <- 0;
+    s.s_pages_written <- 0;
+    s.s_unlocks <- 0;
+    s.s_dropped_replies <- 0;
+    s.s_port_deaths <- 0
+
   let to_list s =
     [
       ("requests", s.s_requests);

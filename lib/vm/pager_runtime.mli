@@ -27,6 +27,9 @@ module Stats : sig
 
   val create : unit -> t
   val to_list : t -> (string * int) list
+
+  val reset : t -> unit
+  (** Zero every counter (the registry's shared reset idiom). *)
 end
 
 type 'o obj = {

@@ -26,6 +26,7 @@ let node ?(host = 0) () =
     node_stats = Transport.fresh_ipc_stats ();
     node_sched = None;
     node_handoff_enabled = true;
+    node_trace = None;
   }
 
 let data s = Message.Data (Bytes.of_string s)

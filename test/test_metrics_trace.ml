@@ -1,0 +1,237 @@
+(* The observability spine: Metrics registry semantics (snapshot /
+   delta / merge / reset, QCheck'd against direct counter reads) and
+   Trace behaviour (span balance, ring wraparound, disabled no-op), and
+   an end-to-end check that a kernel fault storm produces balanced,
+   causally linked spans. *)
+
+open Alcotest
+module Engine = Mach_sim.Engine
+module Trace = Mach_sim.Trace
+module Metrics = Mach_util.Metrics
+
+(* ---- Metrics ------------------------------------------------------------ *)
+
+let test_registry_sources () =
+  let r = Metrics.create () in
+  let block = ref (0, 0) in
+  Metrics.register_source r ~subsystem:"blk"
+    ~reset:(fun () -> block := (0, 0))
+    (fun () ->
+      let a, b = !block in
+      [ ("a", a); ("b", b) ]);
+  Metrics.gauge r ~subsystem:"blk" "depth" (fun () -> 7);
+  block := (3, 4);
+  let snap = Metrics.snapshot r in
+  check (float 0.0) "source a" 3.0 (Metrics.get snap "blk.a");
+  check (float 0.0) "source b" 4.0 (Metrics.get snap "blk.b");
+  check (float 0.0) "gauge" 7.0 (Metrics.get snap "blk.depth");
+  (* Duplicate keys (two sources of the same subsystem) sum. *)
+  Metrics.register_source r ~subsystem:"blk" (fun () -> [ ("a", 10) ]);
+  check (float 0.0) "duplicate keys sum" 13.0 (Metrics.get (Metrics.snapshot r) "blk.a");
+  Metrics.reset r;
+  check (float 0.0) "source reset ran" 0.0 (Metrics.get (Metrics.snapshot r) "blk.b")
+
+let test_histogram_keys () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~subsystem:"vm" "lat_us" in
+  check (float 0.0) "empty histogram has count 0" 0.0
+    (Metrics.get (Metrics.snapshot r) "vm.lat_us.count");
+  List.iter (Metrics.observe h) [ 10.0; 20.0; 30.0 ];
+  let snap = Metrics.snapshot r in
+  check (float 0.0) "count" 3.0 (Metrics.get snap "vm.lat_us.count");
+  check (float 0.001) "mean" 20.0 (Metrics.get snap "vm.lat_us.mean");
+  check (float 0.001) "max" 30.0 (Metrics.get snap "vm.lat_us.max");
+  Metrics.reset r;
+  check (float 0.0) "reset empties samples" 0.0
+    (Metrics.get (Metrics.snapshot r) "vm.lat_us.count")
+
+let test_delta_merge () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r ~subsystem:"s" "n" in
+  Metrics.incr c ~by:5;
+  let before = Metrics.snapshot r in
+  Metrics.incr c ~by:7;
+  let after = Metrics.snapshot r in
+  check (float 0.0) "delta" 7.0 (Metrics.get (Metrics.delta ~before ~after) "s.n");
+  let merged = Metrics.merge [ before; after ] in
+  check (float 0.0) "merge sums" 17.0 (Metrics.get merged "s.n");
+  check (float 0.0) "missing key defaults to 0" 0.0 (Metrics.get after "s.zzz")
+
+(* QCheck: for any interleaving of increments and observations, the
+   snapshot agrees with direct counter/histogram reads, and
+   delta(before, after) equals what happened in between. *)
+let prop_snapshot_agrees =
+  QCheck.Test.make ~count:200 ~name:"snapshot/delta agree with direct reads"
+    QCheck.(pair (list (int_bound 100)) (list (int_bound 100)))
+    (fun (first, second) ->
+      let r = Metrics.create () in
+      let c = Metrics.counter r ~subsystem:"q" "c" in
+      let h = Metrics.histogram r ~subsystem:"q" "h" in
+      List.iter (fun n -> Metrics.incr c ~by:n; Metrics.observe h (float_of_int n)) first;
+      let before = Metrics.snapshot r in
+      List.iter (fun n -> Metrics.incr c ~by:n) second;
+      let after = Metrics.snapshot r in
+      let sum l = List.fold_left ( + ) 0 l in
+      Metrics.get before "q.c" = float_of_int (sum first)
+      && Metrics.counter_value c = sum first + sum second
+      && Metrics.get after "q.c" = float_of_int (Metrics.counter_value c)
+      && Metrics.get (Metrics.delta ~before ~after) "q.c" = float_of_int (sum second)
+      && Metrics.get before "q.h.count" = float_of_int (List.length first))
+
+let test_json_shape () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r ~subsystem:"j" "k" in
+  Metrics.incr c ~by:2;
+  let json = Metrics.to_json (Metrics.snapshot r) in
+  check bool "flat key: value pair present" true
+    (let sub = {|"j.k": 2|} in
+     let rec find i =
+       if i + String.length sub > String.length json then false
+       else String.sub json i (String.length sub) = sub || find (i + 1)
+     in
+     find 0)
+
+(* ---- Trace -------------------------------------------------------------- *)
+
+(* Spans/points recorded outside any engine fiber (timer context): the
+   trace must cope with having no fiber identity. *)
+let test_span_balance () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng in
+  Trace.set_enabled tr true;
+  Engine.spawn eng ~name:"t" (fun () ->
+      let a = Trace.span_open tr ~subsystem:"x" ~label:"outer" in
+      let b = Trace.span_open tr ~subsystem:"x" ~label:"inner" in
+      Trace.point tr ~subsystem:"x" "tick";
+      Trace.span_close tr ~subsystem:"x" ~label:"done" b;
+      Trace.span_close tr ~subsystem:"x" ~label:"done" a);
+  Engine.run eng;
+  let opens, closes = Trace.balance tr in
+  check int "opens" 2 opens;
+  check int "closes" 2 closes;
+  check int "unclosed" 0 (Trace.unclosed tr);
+  (match Trace.spans tr with
+  | [ inner; outer ] ->
+    check string "inner label" "inner" inner.Trace.sp_label;
+    check int "inner parented on outer" outer.Trace.sp_id inner.Trace.sp_parent;
+    check int "outer is a root" (-1) outer.Trace.sp_parent
+  | spans -> failf "expected 2 spans, got %d" (List.length spans));
+  (* The point inside both spans attributes to the innermost. *)
+  let tick = List.find (fun ev -> ev.Trace.ev_label = "tick") (Trace.events tr) in
+  check bool "point attributed to inner span" true (tick.Trace.ev_span >= 0)
+
+let test_ring_wraparound () =
+  let eng = Engine.create () in
+  let tr = Trace.create ~capacity:8 eng in
+  Trace.set_enabled tr true;
+  Engine.spawn eng ~name:"t" (fun () ->
+      for i = 1 to 20 do
+        Trace.point tr ~subsystem:"w" (string_of_int i)
+      done);
+  Engine.run eng;
+  let events = Trace.events tr in
+  check int "ring keeps capacity" 8 (List.length events);
+  check int "recorded counts everything" 20 (Trace.recorded tr);
+  check int "dropped = recorded - buffered" 12 (Trace.dropped tr);
+  (* The newest events survive, oldest first. *)
+  check string "oldest surviving" "13" (List.hd events).Trace.ev_label;
+  check string "newest surviving" "20" (List.nth events 7).Trace.ev_label
+
+let test_disabled_noop () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng in
+  Engine.spawn eng ~name:"t" (fun () ->
+      let s = Trace.span_open tr ~subsystem:"x" ~label:"a" in
+      check int "disabled span_open returns -1" (-1) s;
+      Trace.point tr ~subsystem:"x" "p";
+      Trace.span_close tr ~subsystem:"x" ~label:"a" s;
+      Trace.adopt tr s (fun () -> Trace.point tr ~subsystem:"x" "q"));
+  Engine.run eng;
+  check int "nothing recorded" 0 (Trace.recorded tr);
+  check (list pass) "no events" [] (Trace.events tr)
+
+let test_adopt_attribution () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng in
+  Trace.set_enabled tr true;
+  let carried = ref (-1) in
+  Engine.spawn eng ~name:"opener" (fun () ->
+      let s = Trace.span_open tr ~subsystem:"x" ~label:"work" in
+      carried := s;
+      Engine.sleep 10.0;
+      Trace.span_close tr ~subsystem:"x" ~label:"done" s);
+  Engine.spawn eng ~name:"server" (fun () ->
+      Engine.sleep 5.0;
+      (* Another fiber adopts the carried id, as a service loop does
+         with the span found in a message header. *)
+      Trace.adopt tr !carried (fun () -> Trace.point tr ~subsystem:"y" "served"));
+  Engine.run eng;
+  let served = List.find (fun ev -> ev.Trace.ev_label = "served") (Trace.events tr) in
+  check int "cross-fiber point attributed to adopted span" !carried served.Trace.ev_span;
+  check int "span closed across the adoption" 0 (Trace.unclosed tr)
+
+(* ---- end to end: a kernel fault storm ----------------------------------- *)
+
+let test_kernel_fault_spans () =
+  let open Mach in
+  let sys = Kernel.create_system () in
+  let kernel = sys.Kernel.kernel in
+  let tr = Kernel.trace kernel in
+  Trace.set_enabled tr true;
+  let pages = 6 in
+  Engine.spawn sys.Kernel.engine ~name:"setup" (fun () ->
+      let task = Task.create kernel ~name:"app" () in
+      ignore
+        (Thread.spawn task ~name:"app.main" (fun () ->
+             let addr = Syscalls.vm_allocate task ~size:(pages * 4096) ~anywhere:true () in
+             for i = 0 to pages - 1 do
+               match Syscalls.touch task ~addr:(addr + (i * 4096)) ~write:true () with
+               | Ok _ -> ()
+               | Error _ -> failwith "touch failed"
+             done)));
+  Engine.run sys.Kernel.engine;
+  let opens, closes = Trace.balance tr in
+  check bool "some spans" true (opens > 0);
+  check int "balanced" opens closes;
+  check int "none left open" 0 (Trace.unclosed tr);
+  let faults =
+    List.filter
+      (fun sp -> sp.Trace.sp_sub = "vm" && sp.Trace.sp_label = "fault")
+      (Trace.spans tr)
+  in
+  check int "every fault spanned" (Kernel.stats kernel).Vm_types.s_faults
+    (List.length faults);
+  List.iter
+    (fun sp -> check string "anonymous touches zero-fill" "zero_fill" sp.Trace.sp_resolution)
+    faults;
+  (* The same storm shows up in the registry, including the fault
+     histogram fed by the fault handler. *)
+  let snap = Metrics.snapshot (Kernel.metrics kernel) in
+  check (float 0.0) "registry saw the faults"
+    (float_of_int (Kernel.stats kernel).Vm_types.s_faults)
+    (Metrics.get snap "vm.faults");
+  check (float 0.0) "fault histogram observed every fault"
+    (float_of_int (Kernel.stats kernel).Vm_types.s_faults)
+    (Metrics.get snap "vm.fault_us.count")
+
+let () =
+  run "metrics_trace"
+    [
+      ( "metrics",
+        [
+          test_case "sources, gauges, reset" `Quick test_registry_sources;
+          test_case "histogram snapshot keys" `Quick test_histogram_keys;
+          test_case "delta and merge" `Quick test_delta_merge;
+          test_case "json shape" `Quick test_json_shape;
+          QCheck_alcotest.to_alcotest prop_snapshot_agrees;
+        ] );
+      ( "trace",
+        [
+          test_case "span open/close balance" `Quick test_span_balance;
+          test_case "ring wraparound" `Quick test_ring_wraparound;
+          test_case "disabled mode is a no-op" `Quick test_disabled_noop;
+          test_case "cross-fiber adoption" `Quick test_adopt_attribution;
+        ] );
+      ( "kernel",
+        [ test_case "fault storm: balanced spans + registry" `Quick test_kernel_fault_spans ] );
+    ]

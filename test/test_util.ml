@@ -126,18 +126,24 @@ let test_stats_stddev () =
   check (Alcotest.float 1e-9) "known stddev" 2.0 (Stats.stddev s)
 
 let test_counters () =
-  let c = Stats.Counters.create () in
-  Stats.Counters.incr c "a";
-  Stats.Counters.incr c ~by:5 "b";
-  Stats.Counters.incr c "a";
-  check Alcotest.int "a" 2 (Stats.Counters.get c "a");
-  check Alcotest.int "b" 5 (Stats.Counters.get c "b");
-  check Alcotest.int "missing" 0 (Stats.Counters.get c "zzz");
+  let module M = Mach_util.Metrics in
+  let r = M.create () in
+  let a = M.counter r ~subsystem:"t" "a" in
+  let b = M.counter r ~subsystem:"t" "b" in
+  M.incr a;
+  M.incr ~by:5 b;
+  M.incr a;
+  check Alcotest.int "a" 2 (M.counter_value a);
+  check Alcotest.int "b" 5 (M.counter_value b);
+  let snap = M.snapshot r in
   check
-    Alcotest.(list (pair string int))
-    "sorted listing"
-    [ ("a", 2); ("b", 5) ]
-    (Stats.Counters.to_list c)
+    Alcotest.(list (pair string (float 1e-9)))
+    "sorted snapshot"
+    [ ("t.a", 2.0); ("t.b", 5.0) ]
+    (M.to_list snap);
+  check (Alcotest.float 1e-9) "missing key" 0.0 (M.get snap "t.zzz");
+  M.reset r;
+  check (Alcotest.float 1e-9) "reset" 0.0 (M.get (M.snapshot r) "t.a")
 
 let test_histogram () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
