@@ -18,6 +18,8 @@ let () =
     let current = parse current_path in
     let b_ratio = get baseline baseline_path "copy_over_map_1048576" in
     let c_ratio = get current current_path "copy_over_map_1048576" in
+    let b_mw = get baseline baseline_path "map_write_us_1048576" in
+    let c_mw = get current current_path "map_write_us_1048576" in
     let crossover = get current current_path "crossover_bytes" in
     let mapped_copied = get current current_path "map_send_bytes_copied_1048576" in
     if !failures = 0 then begin
@@ -29,7 +31,14 @@ let () =
       check_eq "map_send_bytes_copied_1048576 (zero-copy)" mapped_copied 0.0;
       check_ge
         (Printf.sprintf "copy_over_map_1048576 vs baseline %.3f" b_ratio)
-        c_ratio (baseline_fraction *. b_ratio)
+        c_ratio (baseline_fraction *. b_ratio);
+      (* The copy engine's write-heavy win: touching every page of a
+         1 MB mapped-in region must not regress past the recorded cost
+         (clustered COW resolution keeps it below one fault+copy per
+         page). *)
+      check_le
+        (Printf.sprintf "map_write_us_1048576 vs baseline %.0f" b_mw)
+        c_mw (b_mw /. baseline_fraction)
     end
   | _ -> usage "check_e03");
   finish "E3 zero-copy crossover within recorded floors"

@@ -31,9 +31,14 @@ let () =
       check_ge "spans_opened" opens 1.0;
       check_eq "spans_opened = spans_closed" opens closes;
       check_eq "faults all spanned" faults opens;
-      (* Resolution mix: each driven path actually resolved that way. *)
+      (* Resolution mix: each driven path actually resolved that way.
+         COW faults are clustered (up to 8 pages per fault), so the
+         rounds of child writes resolve in at least rounds/8 spans. *)
       check_ge "via_zero_fill" (c "via_zero_fill") rounds;
-      check_ge "via_cow" (c "via_cow") rounds;
+      check_ge "via_cow_copy" (c "via_cow_copy") (rounds /. 8.0);
+      check_ge "cow pages all resolved (faults + batched)"
+        (c "via_cow_copy" +. c "cow_batched")
+        rounds;
       check_ge "via_pager" (c "via_pager") rounds;
       check_ge "via_fast (soft refaults)" (c "via_fast") rounds;
       check_ge "via_clean_hit (laundry absorption)" (c "via_clean_hit") 1.0;

@@ -1,0 +1,44 @@
+(* E11 regression gate: compare a freshly produced `--json` run of the
+   fork/COW experiment against the committed baseline (BENCH_e11.json)
+   and fail if the copy engine regressed.
+
+   Usage: check_e11 BASELINE CURRENT *)
+
+open Check_common
+
+(* Tolerated fraction of the recorded baseline (deterministic runs; the
+   slack only covers intentional cost-model retuning). *)
+let baseline_fraction = 0.8
+
+(* Fork of a fully resident space must cost the same regardless of
+   region size: the freeze is one batched protect per entry, so the
+   largest/smallest fork-time ratio stays near 1. *)
+let flatness_ceiling = 1.5
+
+let () =
+  (match Sys.argv with
+  | [| _; baseline_path; current_path |] ->
+    let baseline = parse baseline_path in
+    let current = parse current_path in
+    let c key = get current current_path key in
+    let b key = get baseline baseline_path key in
+    if !failures = 0 then begin
+      (* Fork cost independent of region size (64 .. 4096 pages). *)
+      check_le "fork_flatness (max/min fork_us over sizes)" (c "fork_flatness") flatness_ceiling;
+      check_le
+        (Printf.sprintf "fork_us_4096 vs baseline %.0f" (b "fork_us_4096"))
+        (c "fork_us_4096")
+        (b "fork_us_4096" /. baseline_fraction);
+      (* The generational workload must actually steal: exclusive
+         backing pages move up the chain instead of being copied. *)
+      check_ge "cow_steals (nonzero on generational workload)" (c "cow_steals") 1.0;
+      check_ge
+        (Printf.sprintf "steal_rate vs baseline %.3f" (b "steal_rate"))
+        (c "steal_rate")
+        (baseline_fraction *. b "steal_rate");
+      (* Fork/exit generations may not accrete shadow-chain depth. *)
+      check_le "gen_depth_peak (chain flat after each exit)" (c "gen_depth_peak") 2.0;
+      check_ge "collapses (both collapse triggers fire)" (c "collapses") (c "generations")
+    end
+  | _ -> usage "check_e11");
+  finish "E11 fork/COW within recorded floors"

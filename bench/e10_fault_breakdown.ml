@@ -164,8 +164,9 @@ let run_body ~rounds =
         let wanted =
           [
             "faults"; "fast_faults"; "hits"; "hint_hits"; "hint_misses"; "burst_entered";
-            "slow_busy"; "slow_lock"; "slow_pager"; "data_requests"; "cluster_pages"; "pageins";
-            "pageouts"; "data_writes"; "laundered"; "clean_hits";
+            "slow_busy"; "slow_lock"; "slow_pager"; "slow_error"; "data_requests"; "cluster_pages";
+            "pageins"; "pageouts"; "data_writes"; "laundered"; "clean_hits"; "cow_steals";
+            "cow_batched";
           ]
         in
         List.filter (fun (k, _) -> List.mem k wanted) (Vm_types.stats_to_list st)

@@ -23,6 +23,22 @@ let remove_range t ~lo ~hi =
     List.iter (fun vpn -> Hashtbl.remove t.table vpn) doomed
   end
 
+let protect_range t ~lo ~hi ~prot =
+  if hi - lo + 1 <= Hashtbl.length t.table then
+    for vpn = lo to hi do
+      match Hashtbl.find_opt t.table vpn with
+      | Some (frame, _) -> Hashtbl.replace t.table vpn (frame, prot)
+      | None -> ()
+    done
+  else begin
+    let hits =
+      Hashtbl.fold
+        (fun vpn (frame, _) acc -> if vpn >= lo && vpn <= hi then (vpn, frame) :: acc else acc)
+        t.table []
+    in
+    List.iter (fun (vpn, frame) -> Hashtbl.replace t.table vpn (frame, prot)) hits
+  end
+
 let protect t ~vpn ~prot =
   match Hashtbl.find_opt t.table vpn with
   | Some (frame, _) -> Hashtbl.replace t.table vpn (frame, prot)

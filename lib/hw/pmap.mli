@@ -35,6 +35,13 @@ val protect : t -> vpn:int -> prot:Prot.t -> unit
 (** Reduce/alter the protection of an existing translation; harmless if
     absent. *)
 
+val protect_range : t -> lo:int -> hi:int -> prot:Prot.t -> unit
+(** Alter the protection of every existing translation in [lo..hi]
+    (inclusive virtual page numbers) in one machine operation — the
+    copy engine's fork/copyin write-protect sweep amortises per-entry
+    validation cost across the run. Pages without a translation are
+    skipped. *)
+
 val lookup : t -> vpn:int -> (Phys_mem.frame * Prot.t) option
 
 val access : t -> vpn:int -> write:bool -> (Phys_mem.frame, fault) result

@@ -104,6 +104,34 @@ let handle kctx map ~addr ~write ?policy () =
   let lock_forbids page =
     if write then Prot.can_write page.page_lock else Prot.can_read page.page_lock
   in
+  let note_depth depth =
+    if depth > stats.s_chain_depth_peak then stats.s_chain_depth_peak <- depth
+  in
+  (* ---- copy engine predicates ------------------------------------- *)
+  (* A COW source page can be STOLEN (renamed up the chain, no copy and
+     no 400 µs charge) when nobody else can ever reach it: every object
+     strictly below [top] down to the page's owner is an idle,
+     sole-referenced, anonymous temporary — so the only reference path
+     to the page runs through [top] — and the page itself is quiescent
+     with hardware mappings in no pmap but ours. *)
+  let chain_exclusive top ~owner =
+    let rec walk cur =
+      match cur.backing with
+      | Some { back_obj = b; _ } ->
+        b.ref_count = 1 && b.temporary && b.obj_alive && b.paging_in_progress = 0
+        && (match b.pager with No_pager -> true | Pager _ -> false)
+        && (b == owner || walk b)
+      | None -> false
+    in
+    walk top
+  in
+  let can_steal first_obj (page : page) =
+    kctx.Kctx.enable_cow_steal && (not page.busy) && (not page.absent) && (not page.p_error)
+    && page.wire_count = 0
+    && page.q_state <> Q_laundry
+    && List.for_all (fun (pm', _) -> pm' == pm) page.mappings
+    && chain_exclusive first_obj ~owner:page.p_obj
+  in
   (* Manager-imposed lock check used while waiting for pager_data_lock:
      the page may be flushed out from under us; a dead page ends the
      wait and the fault re-runs from scratch. *)
@@ -207,10 +235,11 @@ let handle kctx map ~addr ~write ?policy () =
         Trace.point tr ~subsystem:"vm" "shadow_walk";
         match Vm_object.lookup_chain first_obj ~offset:first_off with
         | Some (page, _owner, depth) ->
+          note_depth depth;
           if page.busy then slow_busy page tries
           else if page.p_error then slow_error page tries
           else if forbidden page () then slow_lock page tries
-          else if depth > 0 && write then slow_cow first_obj first_off page tries
+          else if depth > 0 && write then slow_cow lk page tries
           else begin
             (* Resident and usable after at least one slow step. *)
             Page_queues.activate kctx.Kctx.queues page;
@@ -244,8 +273,12 @@ let handle kctx map ~addr ~write ?policy () =
         zero_fill_placeholder page;
         resolve (tries + 1)
       | Zero_fill_after _ | Wait_forever | Abort_after _ -> Pager_error
-  (* A previous pager interaction failed for this page. *)
+  (* A previous pager interaction failed for this page. Error refaults
+     ride the same retry budget as the other slow steps and are counted,
+     so a task spinning on a poisoned page shows up in the E10 trace
+     reduction instead of vanishing. *)
   and slow_error page tries =
+    stats.s_slow_error <- stats.s_slow_error + 1;
     via := "error";
     match policy with
     | Zero_fill_after _ ->
@@ -285,34 +318,140 @@ let handle kctx map ~addr ~write ?policy () =
       else Pager_error
     end
   (* Copy-on-write: the page lives in a backing object; give the first
-     object its own copy (§5.5). *)
-  and slow_cow first_obj first_off page tries =
-    via := "cow";
-    let frame = Kctx.alloc_frame kctx ~privileged:false in
-    (* The source may have been freed while we slept in alloc_frame;
-       retry if so. *)
-    if page.busy || not (Hashtbl.mem page.p_obj.obj_pages page.p_offset) then begin
-      Kctx.free_frame kctx frame;
-      resolve (tries + 1)
-    end
-    else begin
-      Phys_mem.copy kctx.Kctx.mem ~src:page.frame ~dst:frame;
-      Kctx.charge kctx kctx.Kctx.params.Machine.page_copy_us;
-      let fresh =
-        Vm_page.insert kctx first_obj ~offset:first_off ~frame ~busy:false ~absent:false
-      in
+     object its own copy (§5.5). This is the copy engine's main stage:
+     the faulting page is STOLEN (renamed up, no copy) when it has no
+     other possible user, or copied otherwise; then a forward window of
+     adjacent pending-copy pages in the same record is resolved the
+     same way under the same fault — one fault_base, one batched page
+     charge, one batched map charge, one pmap validation. *)
+  and slow_cow lk page tries =
+    let first_obj = lk.Vm_map.lk_obj in
+    let first_off = lk.Vm_map.lk_offset in
+    let copies = ref 0 in
+    let removed = ref false in
+    (* Steal: move the page itself into the faulting object. The stale
+       read-only translations it carries (ours by [can_steal]) drop with
+       the rename; accounting is deferred to the batch charge sites. *)
+    let steal src ~off =
+      Vm_page.harvest_bits kctx src;
+      if src.mappings <> [] then removed := true;
+      Vm_page.rename ~charge:false kctx src first_obj ~offset:off;
+      src.dirty <- true;
+      Page_queues.activate kctx.Kctx.queues src;
+      stats.s_cow_steals <- stats.s_cow_steals + 1
+    in
+    (* Copy [src] into [frame] as first_obj@off; drops the source's
+       stale translations (sharers must refault through their own
+       chains and see their own copy). *)
+    let copy src frame ~off =
+      Phys_mem.copy kctx.Kctx.mem ~src:src.frame ~dst:frame;
+      incr copies;
+      let fresh = Vm_page.insert kctx first_obj ~offset:off ~frame ~busy:false ~absent:false in
       fresh.dirty <- true;
-      stats.s_cow_faults <- stats.s_cow_faults + 1;
       Page_queues.activate kctx.Kctx.queues fresh;
-      (* Any stale read-only translation of the source page must refault
-         so it resolves through its own chain (sharers of this object
-         must see the new copy). *)
-      Vm_page.remove_all_mappings kctx page;
+      if src.mappings <> [] then removed := true;
+      Vm_page.remove_all_mappings ~charge:false kctx src;
+      fresh
+    in
+    (* Resolve the faulting page first (it may block in alloc_frame). *)
+    let primary =
+      if can_steal first_obj page then begin
+        via := "cow_steal";
+        steal page ~off:first_off;
+        Some page
+      end
+      else begin
+        via := "cow_copy";
+        let frame = Kctx.alloc_frame kctx ~privileged:false in
+        (* The world may have shifted while we slept in alloc_frame:
+           the source can be gone, or another faulter may have resolved
+           this offset already; retry from the top if so. *)
+        if
+          page.busy
+          || (not (Hashtbl.mem page.p_obj.obj_pages page.p_offset))
+          || Hashtbl.mem first_obj.obj_pages first_off
+        then begin
+          Kctx.free_frame kctx frame;
+          None
+        end
+        else Some (copy page frame ~off:first_off)
+      end
+    in
+    match primary with
+    | None -> resolve (tries + 1)
+    | Some primary ->
+      stats.s_cow_faults <- stats.s_cow_faults + 1;
+      (* Clustered copy: sweep forward over adjacent pending-copy pages
+         of the same record, stealing or copying each without further
+         faults. Non-blocking allocation only — the window shrinks under
+         memory pressure rather than sleeping mid-batch. *)
+      let extras = ref [] in
+      let n_extras = ref 0 in
+      let window =
+        if kctx.Kctx.enable_cow_cluster then
+          min kctx.Kctx.cluster_pages (lk.Vm_map.lk_run / ps)
+        else 1
+      in
+      (try
+         for i = 1 to window - 1 do
+           let off = first_off + (i * ps) in
+           if Hashtbl.mem first_obj.obj_pages off then raise Exit;
+           match Vm_object.lookup_chain first_obj ~offset:off with
+           | Some (p, _, depth)
+             when depth > 0 && (not p.busy) && (not p.absent) && (not p.p_error)
+                  && p.page_lock = Prot.none ->
+             if can_steal first_obj p then begin
+               steal p ~off;
+               extras := p :: !extras
+             end
+             else begin
+               match Kctx.try_alloc_frame kctx ~privileged:false with
+               | None -> raise Exit
+               | Some frame -> extras := copy p frame ~off :: !extras
+             end;
+             incr n_extras
+           | Some _ | None -> raise Exit
+         done
+       with Exit -> ());
+      stats.s_cow_batched <- stats.s_cow_batched + !n_extras;
+      Metrics.observe kctx.Kctx.cow_batch_hist (float_of_int (1 + !n_extras));
+      (* The batch's single charge sites. *)
+      if !copies > 0 then
+        Kctx.charge kctx (float_of_int !copies *. kctx.Kctx.params.Machine.page_copy_us);
+      if !removed then Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us;
       (* The classic chain-length optimisation: if the frozen object
          below is now only ours, merge it away. *)
       Vm_object.collapse kctx first_obj;
-      finish fresh ~from_backing:false
-    end
+      (* Hardware validation for the whole batch. The charges above may
+         have slept, so re-check the map; if the entry moved on, fall
+         back to validating the faulting page alone. *)
+      (match Vm_map.lookup ~count:false map ~addr ~write with
+      | Error _ -> ()
+      | Ok lk2 when lk2.Vm_map.lk_obj == first_obj && lk2.Vm_map.lk_offset = first_off ->
+        let base_vpn = addr / ps in
+        let live pg = pg.p_obj == first_obj && not pg.busy in
+        let batch =
+          List.filter_map
+            (fun pg ->
+              if live pg then begin
+                let vpn = base_vpn + ((pg.p_offset - first_off) / ps) in
+                let prot =
+                  hw_prot lk2.Vm_map.lk_entry_prot ~write_ok:lk2.Vm_map.lk_writable
+                    ~page_lock:pg.page_lock
+                in
+                Vm_page.add_mapping pg pm ~vpn;
+                Some (vpn, pg.frame, prot)
+              end
+              else None)
+            (primary :: !extras)
+        in
+        if batch <> [] then begin
+          Pmap.enter_batch pm batch;
+          Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us
+        end;
+        if !n_extras = 0 then burst_enter ()
+      | Ok _ -> ignore (finish primary ~from_backing:false));
+      Done
   (* Not resident anywhere in the chain, and a manager owns the data:
      issue a (possibly clustered) pager_data_request and wait. *)
   and slow_pager powner poffset tries =
@@ -396,6 +535,7 @@ let handle kctx map ~addr ~write ?policy () =
         when (not page.busy) && (not page.absent) && (not page.p_error)
              && (not (lock_forbids page))
              && not (write && depth > 0) ->
+        note_depth depth;
         fast_finish lk page ~from_backing:(depth > 0)
       | Some _ | None -> resolve 0)
   in

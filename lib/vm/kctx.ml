@@ -25,7 +25,9 @@ type t = {
   fault_hist : Metrics.histogram;
   objects_by_port : (int, obj) Hashtbl.t;
   objects_by_request : (int, obj) Hashtbl.t;
-  mutable cached_objects : obj list;
+  cached_objects : obj Mach_util.Dlist.t;
+  cached_index : (int, obj Mach_util.Dlist.node) Hashtbl.t;
+  mutable object_cache_cap : int;
   mutable default_pager_port : port option;
   mutable next_obj_id : int;
   reserved_frames : int;
@@ -42,6 +44,14 @@ type t = {
   mutable cluster_pages : int;
       (** cluster-in window: max pages per pager_data_request on a hard
           read fault (1 disables clustering) *)
+  mutable enable_cow_steal : bool;
+      (** copy engine: rename sole-user pages up the chain instead of
+          copying them *)
+  mutable enable_cow_cluster : bool;
+      (** copy engine: resolve a window of adjacent pending-copy pages
+          per COW write fault *)
+  cow_batch_hist : Metrics.histogram;
+      (** pages resolved per COW write fault (1 = no clustering won) *)
 }
 
 let fresh_obj_id t =
@@ -172,6 +182,7 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
       Page_queues.laundry_count queues);
   Metrics.gauge metrics ~subsystem:"sched" "run_queued" (fun () -> Sched.queued sched);
   let fault_hist = Metrics.histogram metrics ~subsystem:"vm" "fault_us" in
+  let cow_batch_hist = Metrics.histogram metrics ~subsystem:"vm" "cow_batch" in
   {
     engine;
     ctx;
@@ -189,7 +200,9 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
     fault_hist;
     objects_by_port = Hashtbl.create 64;
     objects_by_request = Hashtbl.create 64;
-    cached_objects = [];
+    cached_objects = Mach_util.Dlist.create ();
+    cached_index = Hashtbl.create 64;
+    object_cache_cap = 64;
     default_pager_port = None;
     next_obj_id = 1;
     reserved_frames = reserved;
@@ -203,4 +216,7 @@ let create engine ctx ~host ~params ~mem ?reserved_frames ?(pager_timeout_us = 2
     rescue_writer = None;
     enable_collapse = true;
     cluster_pages = 8;
+    enable_cow_steal = true;
+    enable_cow_cluster = true;
+    cow_batch_hist;
   }

@@ -34,7 +34,12 @@ type t = {
           {!Fault.handle} *)
   objects_by_port : (int, obj) Hashtbl.t;  (** memory-object port id → obj *)
   objects_by_request : (int, obj) Hashtbl.t;  (** pager-request port id → obj *)
-  mutable cached_objects : obj list;  (** unreferenced but persisting *)
+  cached_objects : obj Mach_util.Dlist.t;
+      (** unreferenced but persisting objects, LRU order (front =
+          coldest); capped at [object_cache_cap], evictions terminate *)
+  cached_index : (int, obj Mach_util.Dlist.node) Hashtbl.t;
+      (** obj_id → cache node, so revival is O(1) instead of a scan *)
+  mutable object_cache_cap : int;
   mutable default_pager_port : port option;
       (** where [pager_create] messages go; set at boot *)
   mutable next_obj_id : int;
@@ -62,6 +67,14 @@ type t = {
   mutable cluster_pages : int;
       (** cluster-in window: max pages per pager_data_request on a hard
           read fault (1 disables clustering) *)
+  mutable enable_cow_steal : bool;
+      (** copy engine: rename sole-user pages up the chain instead of
+          copying them (ablation switch) *)
+  mutable enable_cow_cluster : bool;
+      (** copy engine: resolve a window of adjacent pending-copy pages
+          per COW write fault (ablation switch) *)
+  cow_batch_hist : Mach_util.Metrics.histogram;
+      (** pages resolved per COW write fault (1 = no clustering won) *)
 }
 
 val create :

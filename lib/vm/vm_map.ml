@@ -291,10 +291,36 @@ let limit_hw t e ~lo ~hi prot =
         | None -> ignore page)
 
 (* Write-protect every mapping (in all pmaps) of resident pages backing
-   this direct record: the next write anywhere faults and copies. *)
+   this direct record: the next write anywhere faults and copies.
+   The sweep is batched: mappings are gathered per pmap and
+   write-protected as contiguous vpn runs through Pmap.protect_range,
+   under one map-op charge for the whole record — fork/copyin freeze
+   cost is O(entries), not O(pages x mappings). *)
 let freeze_chain kctx d ~lo_off ~span =
+  let groups = ref [] in
+  let add pmap vpn =
+    match List.find_opt (fun (pm, _) -> pm == pmap) !groups with
+    | Some (_, vpns) -> vpns := vpn :: !vpns
+    | None -> groups := (pmap, ref [ vpn ]) :: !groups
+  in
   iter_chain_pages d ~lo_off ~span (fun page _ ->
-      Vm_page.protect_mappings kctx page Prot.rx)
+      List.iter (fun (pm, vpn) -> add pm vpn) page.mappings);
+  List.iter
+    (fun (pm, vpns) ->
+      let rec runs = function
+        | [] -> ()
+        | v :: rest ->
+          let rec extend last = function
+            | v' :: rest' when v' = last + 1 -> extend v' rest'
+            | rest' -> (last, rest')
+          in
+          let hi, rest' = extend v rest in
+          Pmap.protect_range pm ~lo:v ~hi ~prot:Prot.rx;
+          runs rest'
+      in
+      runs (List.sort_uniq compare !vpns))
+    !groups;
+  if !groups <> [] then Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us
 
 (* ---- deallocation ------------------------------------------------------ *)
 
@@ -435,6 +461,10 @@ type lookup = {
   lk_offset : int;
   lk_writable : bool;
   lk_from_copy : bool;
+  lk_run : int;
+      (* bytes from lk_offset to the end of the backing record: the
+         faulted page plus the forward window the copy engine may
+         resolve in the same fault *)
 }
 
 (* Resolve a pending copy-on-write by interposing a shadow object over
@@ -461,13 +491,15 @@ let lookup ?(count = true) t ~addr ~write =
            start; [span]: extent of the record. *)
         if write && d.needs_copy then resolve_copy t.kctx d ~span;
         let offset = d.d_offset + (addr - rec_base) in
+        let lk_offset = t.kctx.Kctx.page_size * (offset / t.kctx.Kctx.page_size) in
         Ok
           {
             lk_entry_prot = e.protection;
             lk_obj = d.d_obj;
-            lk_offset = t.kctx.Kctx.page_size * (offset / t.kctx.Kctx.page_size);
+            lk_offset;
             lk_writable = Prot.can_write e.protection && not d.needs_copy;
             lk_from_copy = d.d_from_copy;
+            lk_run = d.d_offset + span - lk_offset;
           }
       in
       match e.backing with

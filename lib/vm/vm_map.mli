@@ -111,6 +111,10 @@ type lookup = {
   lk_offset : int;  (** offset of the faulting page within [lk_obj] *)
   lk_writable : bool;  (** hardware may map writable (no pending COW) *)
   lk_from_copy : bool;  (** fault materializes a lazily copied-out page *)
+  lk_run : int;
+      (** bytes from [lk_offset] to the end of the backing record — the
+          faulting page plus the forward window of same-entry neighbors
+          a clustered COW fault may resolve alongside it *)
 }
 
 val lookup :

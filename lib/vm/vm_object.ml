@@ -14,6 +14,7 @@ let make kctx ~size ~pager ~temporary =
     temporary;
     obj_alive = true;
     paging_in_progress = 0;
+    shadowers = [];
   }
 
 let create_anonymous kctx ~size = make kctx ~size ~pager:No_pager ~temporary:true
@@ -22,9 +23,24 @@ let create_shadow kctx ~backs ~offset ~size =
   backs.ref_count <- backs.ref_count + 1;
   let obj = make kctx ~size ~pager:No_pager ~temporary:true in
   obj.backing <- Some { back_obj = backs; back_offset = offset };
+  backs.shadowers <- obj :: backs.shadowers;
   obj
 
 let find_by_port kctx port = Hashtbl.find_opt kctx.Kctx.objects_by_port (Port.id port)
+
+(* The cache of unreferenced-but-persisting objects is an LRU: revival
+   removes in O(1) via the obj_id index, insertion at the tail evicts
+   the coldest entries past the cap (eviction = real termination). *)
+module Dlist = Mach_util.Dlist
+
+let cache_remove kctx obj =
+  match Hashtbl.find_opt kctx.Kctx.cached_index obj.obj_id with
+  | Some node ->
+    Dlist.remove kctx.Kctx.cached_objects node;
+    Hashtbl.remove kctx.Kctx.cached_index obj.obj_id
+  | None -> ()
+
+let cache_is_member kctx obj = Hashtbl.mem kctx.Kctx.cached_index obj.obj_id
 
 let create_external kctx ~memory_object ~size =
   match find_by_port kctx memory_object with
@@ -32,7 +48,7 @@ let create_external kctx ~memory_object ~size =
     obj.ref_count <- obj.ref_count + 1;
     if obj.ref_count = 1 then
       (* Revived from the cache: §9's repeated-use win. *)
-      kctx.Kctx.cached_objects <- List.filter (fun o -> o != obj) kctx.Kctx.cached_objects;
+      cache_remove kctx obj;
     if size > obj.obj_size then obj.obj_size <- size;
     obj
   | None ->
@@ -75,23 +91,6 @@ let destroy_pages kctx obj =
       drain ()
   in
   drain ()
-
-let rec deallocate kctx obj =
-  if obj.ref_count <= 0 then invalid_arg "Vm_object.deallocate: no references";
-  obj.ref_count <- obj.ref_count - 1;
-  if obj.ref_count = 0 then begin
-    let cacheable =
-      obj.can_persist && (match obj.pager with Pager p -> not p.is_default | No_pager -> false)
-    in
-    if cacheable then kctx.Kctx.cached_objects <- obj :: kctx.Kctx.cached_objects
-    else begin
-      let backing = obj.backing in
-      kctx.Kctx.obj_terminator kctx obj;
-      match backing with
-      | Some { back_obj; _ } -> deallocate kctx back_obj
-      | None -> ()
-    end
-  end
 
 let lookup_chain obj ~offset =
   let rec walk cur off depth =
@@ -152,8 +151,11 @@ let collapse_once kctx obj =
       (* Splice: obj inherits b's backing (and its reference). *)
       obj.backing <-
         (match b.backing with
-        | Some { back_obj = bb; back_offset = bd } -> Some { back_obj = bb; back_offset = delta + bd }
+        | Some { back_obj = bb; back_offset = bd } ->
+          bb.shadowers <- obj :: List.filter (fun s -> s != b) bb.shadowers;
+          Some { back_obj = bb; back_offset = delta + bd }
         | None -> None);
+      b.shadowers <- [];
       b.obj_alive <- false;
       b.ref_count <- 0;
       kctx.Kctx.stats.s_collapses <- kctx.Kctx.stats.s_collapses + 1;
@@ -167,6 +169,51 @@ let collapse kctx obj =
     while collapse_once kctx obj do
       ()
     done
+
+let rec deallocate kctx obj =
+  if obj.ref_count <= 0 then invalid_arg "Vm_object.deallocate: no references";
+  obj.ref_count <- obj.ref_count - 1;
+  if obj.ref_count = 0 then begin
+    let cacheable =
+      obj.can_persist && (match obj.pager with Pager p -> not p.is_default | No_pager -> false)
+    in
+    if cacheable then begin
+      let node = Dlist.node obj in
+      Hashtbl.replace kctx.Kctx.cached_index obj.obj_id node;
+      Dlist.push_back kctx.Kctx.cached_objects node;
+      (* LRU cap: terminate the coldest entries past the limit. *)
+      while Dlist.length kctx.Kctx.cached_objects > kctx.Kctx.object_cache_cap do
+        match Dlist.pop_front kctx.Kctx.cached_objects with
+        | None -> assert false
+        | Some node ->
+          let victim = Dlist.value node in
+          Hashtbl.remove kctx.Kctx.cached_index victim.obj_id;
+          kctx.Kctx.stats.s_object_cache_evictions <-
+            kctx.Kctx.stats.s_object_cache_evictions + 1;
+          terminate kctx victim
+      done
+    end
+    else terminate kctx obj
+  end
+
+(* Terminate a zero-referenced object: run the installed terminator,
+   release its backing reference, and — the copy engine's deallocate
+   trigger — if the backing survives with exactly one live shadower,
+   collapse from that shadower. A fork/exit generation ends here, not
+   at some future write fault, so chains stop accreting depth. *)
+and terminate kctx obj =
+  let backing = obj.backing in
+  kctx.Kctx.obj_terminator kctx obj;
+  match backing with
+  | Some { back_obj; _ } ->
+    back_obj.shadowers <- List.filter (fun s -> s != obj) back_obj.shadowers;
+    deallocate kctx back_obj;
+    if back_obj.obj_alive && back_obj.ref_count = 1 then begin
+      match List.filter (fun s -> s.obj_alive) back_obj.shadowers with
+      | [ survivor ] -> collapse kctx survivor
+      | _ -> ()
+    end
+  | None -> ()
 
 let size_pages kctx obj = Kctx.pages_of_bytes kctx obj.obj_size
 let resident_count obj = Hashtbl.length obj.obj_pages

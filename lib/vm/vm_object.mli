@@ -31,9 +31,18 @@ val reference : obj -> unit
 
 val deallocate : Kctx.t -> obj -> unit
 (** Drop one reference. At zero, the object is either cached (manager
-    called [pager_cache true]) or terminated via
+    called [pager_cache true]; past [kctx.object_cache_cap] the coldest
+    cached object is evicted and terminated) or terminated via
     [kctx.obj_terminator] (normally {!Pager_client}'s, installed at
-    boot). Shadow-chain references are released recursively. *)
+    boot). Shadow-chain references are released recursively, and when
+    the released backing object survives with a single live shadower
+    the chain is collapsed from that shadower — exiting a fork
+    generation shortens the chain immediately instead of waiting for
+    the survivor's next write fault. *)
+
+val cache_is_member : Kctx.t -> obj -> bool
+(** Whether the object currently sits in the unreferenced-object cache
+    (diagnostic / tests). *)
 
 val destroy_pages : Kctx.t -> obj -> unit
 (** Free every resident page (waiting out busy ones). *)

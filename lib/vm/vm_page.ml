@@ -56,12 +56,12 @@ let harvest_bits kctx page =
     Phys_mem.set_modified mem page.frame false
   end
 
-let remove_all_mappings kctx page =
+let remove_all_mappings ?(charge = true) kctx page =
   harvest_bits kctx page;
   let n = List.length page.mappings in
   List.iter (fun (pmap, vpn) -> Pmap.remove pmap ~vpn) page.mappings;
   page.mappings <- [];
-  if n > 0 then Kctx.charge kctx (float_of_int n *. kctx.Kctx.params.Machine.map_op_us)
+  if charge && n > 0 then Kctx.charge kctx (float_of_int n *. kctx.Kctx.params.Machine.map_op_us)
 
 let protect_mappings kctx page prot =
   let n = List.length page.mappings in
@@ -100,10 +100,10 @@ let release_placeholder kctx page =
     free kctx page
   end
 
-let rename kctx page obj ~offset =
+let rename ?(charge = true) kctx page obj ~offset =
   if Hashtbl.mem obj.obj_pages offset then invalid_arg "Vm_page.rename: target offset occupied";
   Hashtbl.remove page.p_obj.obj_pages page.p_offset;
   page.p_obj <- obj;
   page.p_offset <- offset;
   Hashtbl.replace obj.obj_pages offset page;
-  remove_all_mappings kctx page
+  remove_all_mappings ~charge kctx page

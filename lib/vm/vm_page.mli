@@ -31,9 +31,12 @@ val set_unbusy : page -> unit
 val add_mapping : page -> Mach_hw.Pmap.t -> vpn:int -> unit
 val drop_mapping : page -> Mach_hw.Pmap.t -> vpn:int -> unit
 
-val remove_all_mappings : Kctx.t -> page -> unit
+val remove_all_mappings : ?charge:bool -> Kctx.t -> page -> unit
 (** Invalidate every hardware translation of this page (charging one map
-    operation each), harvesting modify bits into [page.dirty] first. *)
+    operation each), harvesting modify bits into [page.dirty] first.
+    [~charge:false] skips the per-mapping time charge — callers that
+    batch many pages under one charge site (the copy engine) use it and
+    account for the whole batch themselves. *)
 
 val protect_mappings : Kctx.t -> page -> Mach_hw.Prot.t -> unit
 (** Reduce every mapping's protection (e.g. write-protect for COW). *)
@@ -51,7 +54,9 @@ val release_placeholder : Kctx.t -> page -> unit
     busy+absent) whose data never arrived; no-op otherwise. Safe because
     no faulter ever waits on a speculative page. *)
 
-val rename : Kctx.t -> page -> obj -> offset:int -> unit
+val rename : ?charge:bool -> Kctx.t -> page -> obj -> offset:int -> unit
 (** Move the page to cache a different (object, offset) — used by
-    double paging to hand a dirty page to a holding object. Existing
-    hardware mappings are removed. *)
+    double paging to hand a dirty page to a holding object and by the
+    copy engine to steal a sole-user page up the shadow chain. Existing
+    hardware mappings are removed; [~charge] as in
+    {!remove_all_mappings}. *)

@@ -49,6 +49,10 @@ type obj = {
       (** contents need not outlive the object (shadow / anonymous) *)
   mutable obj_alive : bool;
   mutable paging_in_progress : int;  (** in-flight pager operations *)
+  mutable shadowers : obj list;
+      (** live objects whose [backing] points here — the copy engine
+          walks this from the deallocate path to collapse chains that
+          a write fault would never revisit *)
 }
 
 and backing = { back_obj : obj; back_offset : int }
@@ -149,6 +153,15 @@ type stats = {
       (** placeholder pages zero-filled when their pager died *)
   mutable s_death_errors : int;
       (** placeholder pages failed with an error when their pager died *)
+  mutable s_cow_steals : int;
+      (** COW resolutions that renamed the page up the chain instead of
+          copying it (sole user: no copy, no 400 µs charge) *)
+  mutable s_cow_batched : int;
+      (** extra pending-copy pages resolved by a neighbor's COW fault *)
+  mutable s_slow_error : int;  (** slow-path entries: fault on an error page *)
+  mutable s_chain_depth_peak : int;  (** deepest shadow chain walked by a fault *)
+  mutable s_object_cache_evictions : int;
+      (** cached persistent objects terminated by LRU pressure *)
 }
 
 let fresh_stats () =
@@ -183,6 +196,11 @@ let fresh_stats () =
     s_pager_deaths = 0;
     s_death_zero_fills = 0;
     s_death_errors = 0;
+    s_cow_steals = 0;
+    s_cow_batched = 0;
+    s_slow_error = 0;
+    s_chain_depth_peak = 0;
+    s_object_cache_evictions = 0;
   }
 
 let reset_stats s =
@@ -215,7 +233,12 @@ let reset_stats s =
   s.s_clean_hits <- 0;
   s.s_pager_deaths <- 0;
   s.s_death_zero_fills <- 0;
-  s.s_death_errors <- 0
+  s.s_death_errors <- 0;
+  s.s_cow_steals <- 0;
+  s.s_cow_batched <- 0;
+  s.s_slow_error <- 0;
+  s.s_chain_depth_peak <- 0;
+  s.s_object_cache_evictions <- 0
 
 let stats_to_list s =
   [
@@ -249,4 +272,9 @@ let stats_to_list s =
     ("pager_deaths", s.s_pager_deaths);
     ("death_zero_fills", s.s_death_zero_fills);
     ("death_errors", s.s_death_errors);
+    ("cow_steals", s.s_cow_steals);
+    ("cow_batched", s.s_cow_batched);
+    ("slow_error", s.s_slow_error);
+    ("chain_depth_peak", s.s_chain_depth_peak);
+    ("object_cache_evictions", s.s_object_cache_evictions);
   ]

@@ -122,7 +122,7 @@ let test_cached_object_revival () =
   Alcotest.(check bool) "same object" true (again == obj);
   check Alcotest.int "one ref again" 1 again.Vm_types.ref_count;
   Alcotest.(check bool) "left the cache list" true
-    (not (List.memq obj kctx.Kctx.cached_objects))
+    (not (Vm_object.cache_is_member kctx obj))
 
 let test_chain_has_pager_translation () =
   let kctx = make_kctx () in
