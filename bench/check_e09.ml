@@ -1,0 +1,59 @@
+(* E9 regression gate: compare a freshly produced `--json` run of the
+   failure-handling + chaos suite against the committed baseline
+   (BENCH_e09.json) and fail if the fault fabric stopped containing
+   failures: a hung worker, unaccounted faults, a broken dedup window,
+   runaway retransmission, or slow partition-heal convergence.
+
+   Usage: check_e09 BASELINE CURRENT *)
+
+open Check_common
+
+(* Hard ceilings (chaos runs are seeded, so run-to-run numbers are
+   deterministic; the slack over the recorded baseline only covers
+   intentional cost-model or protocol retuning). *)
+let retransmit_ceiling_factor = 4.0
+let convergence_ceiling_factor = 3.0
+
+let () =
+  (match Sys.argv with
+  | [| _; baseline_path; current_path |] ->
+    let baseline = parse baseline_path in
+    let current = parse current_path in
+    let b = get baseline baseline_path in
+    let c = get current current_path in
+    if !failures = 0 then begin
+      (* The §6 local defenses still hold. *)
+      check_ge "pager_deaths" (c "pager_deaths") 1.0;
+      check_ge "death_errors" (c "death_errors") 1.0;
+      (* Zero permanently-blocked threads across the whole chaos suite. *)
+      check_eq "blocked_workers" (c "blocked_workers") 0.0;
+      check_eq "sweep_failures" (c "sweep_failures") 0.0;
+      check_eq "dup_failures" (c "dup_failures") 0.0;
+      check_eq "partition_failures" (c "partition_failures") 0.0;
+      check_eq "migration_failures" (c "migration_failures") 0.0;
+      check_eq "migration_coherent" (c "migration_coherent") 1.0;
+      (* Faults were actually injected and the defenses engaged. *)
+      check_ge "reg.chaos.dropped" (c "reg.chaos.dropped") 1.0;
+      check_ge "dup_injected" (c "dup_injected") 1.0;
+      check_ge "dup_dropped (dedup window active)" (c "dup_dropped") 1.0;
+      check_ge "crash_pager_deaths" (c "crash_pager_deaths") 1.0;
+      check_eq "reg.chan.aborts (no spurious channel-down)" (c "reg.chan.aborts") 0.0;
+      (* Every wire-level fault is accounted for in chaos.* metrics. *)
+      check_eq "net.dropped = chaos drop + partition + crash"
+        (c "reg.net.dropped")
+        (c "reg.chaos.dropped" +. c "reg.chaos.partition_drops"
+        +. c "reg.chaos.crash_drops");
+      check_eq "net.duplicated = chaos.duplicated" (c "reg.net.duplicated")
+        (c "reg.chaos.duplicated");
+      check_eq "net.retransmits = chan.retransmits" (c "reg.net.retransmits")
+        (c "reg.chan.retransmits");
+      (* Retransmission stays proportionate and the heal converges. *)
+      check_le "loss10_retransmits"
+        (c "loss10_retransmits")
+        (Float.max 20.0 (retransmit_ceiling_factor *. b "loss10_retransmits"));
+      check_le "partition_convergence_us"
+        (c "partition_convergence_us")
+        (Float.max 500_000.0 (convergence_ceiling_factor *. b "partition_convergence_us"))
+    end
+  | _ -> usage "check_e09");
+  finish "E9 chaos containment within recorded floors"

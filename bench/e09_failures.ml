@@ -1,11 +1,20 @@
 (* E9 — §6: the problems of external memory management, and the
-   kernel's defenses. Injects each failure the paper lists and reports
-   the containment mechanism that handled it. *)
+   kernel's defenses. Part one injects each local failure the paper
+   lists (unresponsive, dying, hoarding, flooding managers) and reports
+   the containment mechanism that handled it. Part two is the chaos
+   suite: the same external-pager machinery driven over a faulty
+   NORMA fabric — seeded loss, duplicate storms, partitions, and
+   whole-host crashes — to show the reliable channel layer and the
+   failure-recovery paths keep every thread accounted for. *)
 
 open Mach
 open Common
 module Mos = Memory_object_server
 module Rt = Pager_runtime
+module Chaos = Mach_sim.Chaos
+module HwNet = Mach_hw.Net
+module IpcContext = Mach_ipc.Context
+module Netmem = Mach_pagers.Netmem
 
 let page = 4096
 
@@ -156,6 +165,215 @@ let run_flooder () =
       in
       (offered, free_after, reserved, can_still_allocate))
 
+(* --- the chaos suite ----------------------------------------------------- *)
+
+let chaos_seed = 20260808
+
+(* Build a cluster under a seeded fault plan and run [setup] on a
+   simulated thread. [setup] spawns the workload and returns a closure
+   that reads the outcome after the engine quiesces — so a worker that
+   hangs shows up as a completion shortfall instead of deadlocking the
+   harness. *)
+let run_chaos ~hosts ?(plan = Chaos.perfect) ?(seed = chaos_seed) setup =
+  let chaos = Chaos.create ~seed () in
+  Chaos.set_default_plan chaos plan;
+  let cluster = Kernel.create_cluster ~hosts ~chaos () in
+  let finish = ref None in
+  Engine.spawn cluster.Kernel.c_engine ~name:"chaos-setup" (fun () ->
+      finish := Some (setup cluster chaos));
+  Engine.run cluster.Kernel.c_engine;
+  Array.iter note_registry cluster.Kernel.c_kernels;
+  match !finish with
+  | Some f -> f ()
+  | None -> failwith "E9 chaos setup never ran"
+
+type chaos_worker = {
+  cw_done : bool ref;
+  cw_finish : float ref;  (* Engine.now at completion *)
+  cw_failures : int ref;  (* aborted or mis-verified accesses *)
+}
+
+(* One remote client: write a marker into every page of [region], read
+   each back, and verify — every access a cross-host pager RPC. *)
+let spawn_chaos_client cluster ~host ~region ~npages ~value =
+  let w = { cw_done = ref false; cw_finish = ref 0.0; cw_failures = ref 0 } in
+  let engine = cluster.Kernel.c_engine in
+  let task =
+    Task.create cluster.Kernel.c_kernels.(host) ~name:(Printf.sprintf "chaos-c%d" host) ()
+  in
+  ignore
+    (Thread.spawn task ~name:(Printf.sprintf "chaos-c%d.main" host) (fun () ->
+         let addr =
+           Syscalls.vm_allocate_with_pager task ~size:(npages * page) ~anywhere:true
+             ~memory_object:region ~offset:0 ()
+         in
+         let policy = Fault.Abort_after 30_000_000.0 in
+         for i = 0 to npages - 1 do
+           let payload = Bytes.make 16 value in
+           (match Syscalls.write_bytes task ~addr:(addr + (i * page)) payload ~policy () with
+           | Ok () -> ()
+           | Error _ -> incr w.cw_failures);
+           match Syscalls.read_bytes task ~addr:(addr + (i * page)) ~len:16 ~policy () with
+           | Ok b when Bytes.equal b payload -> ()
+           | Ok _ | Error _ -> incr w.cw_failures
+         done;
+         w.cw_done := true;
+         w.cw_finish := Engine.now engine));
+  w
+
+let blocked w = if !(w.cw_done) then 0 else 1
+
+(* Loss sweep: the remote-pager workload at increasing drop rates. The
+   channel layer must deliver every page exactly once, at the cost of
+   retransmissions and time. *)
+let run_loss_point ~drop ~npages =
+  run_chaos ~hosts:2 ~plan:{ Chaos.perfect with Chaos.drop } (fun cluster _chaos ->
+      let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+      let region = Netmem.create_region nm ~size:(npages * page) in
+      let w = spawn_chaos_client cluster ~host:1 ~region ~npages ~value:'L' in
+      fun () ->
+        ( blocked w,
+          !(w.cw_failures),
+          !(w.cw_finish),
+          HwNet.retransmits cluster.Kernel.c_net,
+          HwNet.dropped cluster.Kernel.c_net ))
+
+(* Duplicate storm: at-most-once effects despite every other packet
+   arriving twice (plus background loss so acks get lost too). *)
+let run_duplicate_storm ~npages =
+  run_chaos ~hosts:2
+    ~plan:{ Chaos.perfect with Chaos.duplicate = 0.3; drop = 0.05 }
+    (fun cluster chaos ->
+      let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+      let region = Netmem.create_region nm ~size:(npages * page) in
+      let w = spawn_chaos_client cluster ~host:1 ~region ~npages ~value:'D' in
+      fun () ->
+        let dup_dropped =
+          List.assoc "dup_dropped" (IpcContext.chan_stats_to_list cluster.Kernel.c_ctx)
+        in
+        ( blocked w,
+          !(w.cw_failures),
+          (Chaos.stats chaos).Chaos.s_duplicated,
+          dup_dropped ))
+
+(* Partition-and-heal: cut the link mid-workload for [dur_us], well
+   inside the retry budget; retransmission must carry every in-flight
+   message across the heal. Convergence = how long after the heal the
+   workload needed to finish. *)
+let run_partition_heal ~npages ~at_us ~dur_us =
+  run_chaos ~hosts:2 (fun cluster chaos ->
+      let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+      let region = Netmem.create_region nm ~size:(npages * page) in
+      let w = spawn_chaos_client cluster ~host:1 ~region ~npages ~value:'P' in
+      let heal_t = ref 0.0 in
+      Engine.spawn cluster.Kernel.c_engine ~name:"partitioner" (fun () ->
+          Engine.sleep at_us;
+          Chaos.partition chaos 0 1;
+          Engine.sleep dur_us;
+          Chaos.heal chaos 0 1;
+          heal_t := Engine.now cluster.Kernel.c_engine);
+      fun () ->
+        let s = Chaos.stats chaos in
+        ( blocked w,
+          !(w.cw_failures),
+          Float.max 0.0 (!(w.cw_finish) -. !heal_t),
+          s.Chaos.s_partition_drops ))
+
+(* Mid-data_write host crash: the manager's host dies while the client
+   is dirtying pages through it. Proxy-port death must reach the
+   client's kernel (pager-death path: resolve placeholders, fail fast)
+   so the client finishes — with errors, never a hang. *)
+let run_crash_mid_write ~npages ~kill_after_us =
+  run_chaos ~hosts:2 (fun cluster chaos ->
+      let nm = Netmem.start cluster.Kernel.c_kernels.(1) () in
+      let region = Netmem.create_region nm ~size:(npages * page) in
+      let w = spawn_chaos_client cluster ~host:0 ~region ~npages ~value:'C' in
+      Engine.spawn cluster.Kernel.c_engine ~name:"host-killer" (fun () ->
+          Engine.sleep kill_after_us;
+          Chaos.crash_host chaos 1);
+      fun () ->
+        let st = Kernel.stats cluster.Kernel.c_kernels.(0) in
+        ( blocked w,
+          !(w.cw_failures),
+          st.Vm_types.s_pager_deaths,
+          (Chaos.stats chaos).Chaos.s_crash_drops ))
+
+(* Netmem ownership migration under loss: two clients ping-pong write
+   grants on one page over a 10%-drop fabric, then one rereads the
+   final value through the coherence protocol. *)
+let run_migration_under_loss ~rounds ~drop =
+  run_chaos ~hosts:3 ~plan:{ Chaos.perfect with Chaos.drop } (fun cluster _chaos ->
+      let nm = Netmem.start cluster.Kernel.c_kernels.(0) () in
+      let region = Netmem.create_region nm ~size:page in
+      let gates = Array.init (rounds + 1) (fun _ -> Ivar.create ()) in
+      Ivar.fill gates.(0) ();
+      let completed = ref 0 in
+      let failures = ref 0 in
+      let final_ok = ref false in
+      let finish = ref 0.0 in
+      let last_value = Char.chr (64 + rounds) in
+      let spawn_client host parity =
+        let task =
+          Task.create cluster.Kernel.c_kernels.(host) ~name:(Printf.sprintf "mig-%d" host) ()
+        in
+        ignore
+          (Thread.spawn task ~name:(Printf.sprintf "mig-%d.main" host) (fun () ->
+               let addr =
+                 Syscalls.vm_allocate_with_pager task ~size:page ~anywhere:true
+                   ~memory_object:region ~offset:0 ()
+               in
+               let policy = Fault.Abort_after 30_000_000.0 in
+               for r = 0 to rounds - 1 do
+                 if r mod 2 = parity then begin
+                   Ivar.read gates.(r);
+                   (match
+                      Syscalls.write_bytes task ~addr (Bytes.make 8 (Char.chr (65 + r))) ~policy ()
+                    with
+                   | Ok () -> ()
+                   | Error _ -> incr failures);
+                   Ivar.fill gates.(r + 1) ()
+                 end
+               done;
+               if parity = 0 then begin
+                 (* Reread through the protocol: forces the last writer's
+                    copy home and proves coherence survived the loss. *)
+                 Ivar.read gates.(rounds);
+                 (match Syscalls.read_bytes task ~addr ~len:1 ~policy () with
+                 | Ok b -> final_ok := Bytes.get b 0 = last_value
+                 | Error _ -> incr failures)
+               end;
+               incr completed;
+               finish := Engine.now cluster.Kernel.c_engine))
+      in
+      spawn_client 1 0;
+      spawn_client 2 1;
+      fun () ->
+        ( 2 - !completed,
+          !failures,
+          (if !final_ok then 1 else 0),
+          Netmem.invalidations nm,
+          !finish ))
+
+let chaos_body ~quick =
+  let npages = if quick then 8 else 32 in
+  let sweep =
+    List.map
+      (fun drop ->
+        let b, f, t, rx, drops = run_loss_point ~drop ~npages in
+        (drop, b, f, t, rx, drops))
+      [ 0.0; 0.05; 0.10; 0.20 ]
+  in
+  let dup = run_duplicate_storm ~npages in
+  let part =
+    if quick then run_partition_heal ~npages ~at_us:10_000.0 ~dur_us:30_000.0
+    else run_partition_heal ~npages:64 ~at_us:20_000.0 ~dur_us:100_000.0
+  in
+  let crash =
+    run_crash_mid_write ~npages ~kill_after_us:(if quick then 10_000.0 else 25_000.0)
+  in
+  let mig = run_migration_under_loss ~rounds:(if quick then 4 else 8) ~drop:0.10 in
+  (sweep, dup, part, crash, mig)
+
 let run_body ~quick =
   let timeout = if quick then 50_000.0 else 500_000.0 in
   let kill_after = if quick then 20_000.0 else 100_000.0 in
@@ -233,22 +451,109 @@ let run () =
       ("silent-mgr (zero-fill run)", zf_stats);
       ("doomed-mgr (death run)", death_stats);
     ];
-  [ t; s ]
+  (* Part two: the chaos suite. *)
+  let sweep, dup, part, crash, mig = chaos_body ~quick:false in
+  let c =
+    Table.create ~title:"E9c: remote pager workload under seeded network faults (chaos fabric)"
+      ~columns:[ "scenario"; "fault plan"; "outcome"; "metric" ]
+  in
+  List.iter
+    (fun (drop, b, f, t_us, rx, drops) ->
+      Table.row c
+        [
+          "loss sweep (32 pages, write+verify)";
+          Printf.sprintf "drop %.0f%%" (drop *. 100.0);
+          (if b = 0 && f = 0 then "all pages exact, zero blocked threads"
+           else Printf.sprintf "BLOCKED=%d failures=%d" b f);
+          Printf.sprintf "%.1f ms, %d retransmits, %d wire drops" (t_us /. 1000.0) rx drops;
+        ])
+    sweep;
+  (let b, f, dups, dedup = dup in
+   Table.row c
+     [
+       "duplicate storm";
+       "dup 30% + drop 5%";
+       (if b = 0 && f = 0 then "at-most-once held (dedup window)"
+        else Printf.sprintf "BLOCKED=%d failures=%d" b f);
+       Printf.sprintf "%d duplicates injected, %d shed at receiver" dups dedup;
+     ]);
+  (let b, f, conv_us, pdrops = part in
+   Table.row c
+     [
+       "partition-and-heal (100 ms cut)";
+       "partition 0|1, heal";
+       (if b = 0 && f = 0 then "retransmits carried all traffic across the heal"
+        else Printf.sprintf "BLOCKED=%d failures=%d" b f);
+       Printf.sprintf "converged %.1f ms after heal; %d messages hit the cut"
+         (conv_us /. 1000.0) pdrops;
+     ]);
+  (let b, f, deaths, cdrops = crash in
+   Table.row c
+     [
+       "manager host crash mid-data_write";
+       "crash_host 1";
+       (if b = 0 && deaths > 0 then "proxy-port death reached the client kernel; no hang"
+        else Printf.sprintf "BLOCKED=%d pager_deaths=%d" b deaths);
+       Printf.sprintf "%d aborted accesses, %d pager deaths, %d msgs to dead host" f deaths
+         cdrops;
+     ]);
+  (let b, f, final_ok, invals, _ = mig in
+   Table.row c
+     [
+       "netmem ownership migration";
+       "drop 10%";
+       (if b = 0 && f = 0 && final_ok = 1 then "write grants migrated; final value coherent"
+        else Printf.sprintf "BLOCKED=%d failures=%d coherent=%d" b f final_ok);
+       Printf.sprintf "%d invalidations" invals;
+     ]);
+  [ t; s; c ]
 
 let json () =
   let ( timeout, _, abort_us, _, _, zf_us, _, kill_after, _, death_us, _,
         (pager_deaths, death_errors, death_zero_fills), _, _, _, _, _, _ ) =
     run_body ~quick:true
   in
+  let sweep, dup, part, crash, mig = chaos_body ~quick:true in
+  let sweep_blocked = List.fold_left (fun a (_, b, _, _, _, _) -> a + b) 0 sweep in
+  let sweep_failures = List.fold_left (fun a (_, _, f, _, _, _) -> a + f) 0 sweep in
+  let loss10_us, loss10_rx =
+    let _, _, _, t, rx, _ = List.nth sweep 2 in
+    (t, rx)
+  in
+  let dup_blocked, dup_failures, dups_injected, dup_dropped = dup in
+  let part_blocked, part_failures, convergence_us, partition_drops = part in
+  let crash_blocked, crash_failures, crash_pager_deaths, crash_drops = crash in
+  let mig_blocked, mig_failures, mig_coherent, mig_invals, _ = mig in
+  let blocked_workers =
+    sweep_blocked + dup_blocked + part_blocked + crash_blocked + mig_blocked
+  in
+  let fi = float_of_int in
   [
     ("timeout_us", timeout);
     ("abort_blocked_us", abort_us);
     ("zero_fill_blocked_us", zf_us);
     ("kill_after_us", kill_after);
     ("death_blocked_us", death_us);
-    ("pager_deaths", float_of_int pager_deaths);
-    ("death_errors", float_of_int death_errors);
-    ("death_zero_fills", float_of_int death_zero_fills);
+    ("pager_deaths", fi pager_deaths);
+    ("death_errors", fi death_errors);
+    ("death_zero_fills", fi death_zero_fills);
+    (* chaos suite *)
+    ("blocked_workers", fi blocked_workers);
+    ("sweep_failures", fi sweep_failures);
+    ("loss10_completion_us", loss10_us);
+    ("loss10_retransmits", fi loss10_rx);
+    ("dup_injected", fi dups_injected);
+    ("dup_dropped", fi dup_dropped);
+    ("dup_failures", fi (dup_blocked + dup_failures));
+    ("partition_convergence_us", convergence_us);
+    ("partition_drops", fi partition_drops);
+    ("partition_failures", fi (part_blocked + part_failures));
+    ("crash_pager_deaths", fi crash_pager_deaths);
+    ("crash_drops", fi crash_drops);
+    ("crash_aborted_accesses", fi crash_failures);
+    ("migration_coherent", fi mig_coherent);
+    ("migration_invalidations", fi mig_invals);
+    ("migration_failures", fi (mig_blocked + mig_failures));
   ]
 
 let experiment =
@@ -260,6 +565,9 @@ let experiment =
        apply (timeout, zero-fill, wait), and the default pager plus double paging protect the \
        kernel from starvation by errant managers (Section 6).";
     run;
-    quick = (fun () -> ignore (run_body ~quick:true));
+    quick =
+      (fun () ->
+        ignore (run_body ~quick:true);
+        ignore (chaos_body ~quick:true));
     json = Some json;
   }

@@ -2,7 +2,7 @@
 
    Subcommands:
      machsim compile  --sources 48 --builds 3 --frames 1024 --cache-pct 10
-     machsim netmem   --pages 32 --ops 400 --write-ratio 0.1
+     machsim netmem   --pages 32 --ops 400 --write-ratio 0.1 [--drop 0.1 --dup 0.05 --seed 7]
      machsim migrate  --pages 128 --strategy cor --touched 0.5
      machsim machines
      machsim stat     [--json]
@@ -18,6 +18,7 @@ module Minimal_fs = Mach_pagers.Minimal_fs
 module Netmem = Mach_pagers.Netmem
 module Migrator = Mach_pagers.Migrator
 module Unix_fs = Mach_baseline.Unix_fs
+module Chaos = Mach_sim.Chaos
 
 let page = 4096
 
@@ -89,8 +90,17 @@ let run_compile sources builds frames cache_pct =
 
 (* ---- netmem ------------------------------------------------------------ *)
 
-let run_netmem pages ops write_ratio hosts =
-  let cluster = Kernel.create_cluster ~hosts () in
+let run_netmem pages ops write_ratio hosts drop dup seed =
+  let chaos =
+    if drop > 0.0 || dup > 0.0 then begin
+      let c = Chaos.create ~seed () in
+      Chaos.set_default_plan c
+        { Chaos.perfect with Chaos.drop; duplicate = dup };
+      Some c
+    end
+    else None
+  in
+  let cluster = Kernel.create_cluster ~hosts ?chaos () in
   let done_count = ref 0 in
   let t_done = ref 0.0 in
   Engine.spawn cluster.Kernel.c_engine ~name:"setup" (fun () ->
@@ -131,6 +141,15 @@ let run_netmem pages ops write_ratio hosts =
                end))
       done);
   Engine.run cluster.Kernel.c_engine;
+  (match cluster.Kernel.c_chaos with
+  | None -> ()
+  | Some c ->
+    Printf.printf "chaos (seed %d): %s; %d retransmits recovered the losses\n" seed
+      (String.concat ", "
+         (List.filter_map
+            (fun (k, v) -> if v > 0 then Some (Printf.sprintf "%d %s" v k) else None)
+            (Chaos.stats_to_list c)))
+      (Mach_hw.Net.retransmits cluster.Kernel.c_net));
   if !done_count = hosts then 0 else 1
 
 (* ---- migrate ----------------------------------------------------------- *)
@@ -421,9 +440,17 @@ let netmem_cmd =
   let ops = Arg.(value & opt int 400 & info [ "ops" ] ~doc:"Accesses per client.") in
   let wr = Arg.(value & opt float 0.1 & info [ "write-ratio" ] ~doc:"Fraction of writes.") in
   let hosts = Arg.(value & opt int 2 & info [ "hosts" ] ~doc:"Number of hosts (>= 2).") in
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~doc:"Probability an inter-host message is lost.")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0 & info [ "dup" ] ~doc:"Probability an inter-host message is duplicated.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Fault-plan RNG seed.") in
   Cmd.v
     (Cmd.info "netmem" ~doc:"Consistent network shared memory workload (E6)")
-    Term.(const run_netmem $ pages $ ops $ wr $ hosts)
+    Term.(const run_netmem $ pages $ ops $ wr $ hosts $ drop $ dup $ seed)
 
 let migrate_cmd =
   let pages = Arg.(value & opt int 128 & info [ "pages" ] ~doc:"Task address-space size in pages.") in

@@ -48,10 +48,21 @@ let task t = t.srv_task
    the pager runtime counts it as a dropped reply. *)
 let set_send_error_hook t f = t.on_send_error <- Some f
 
+(* A dropped reply leaves no message behind to inspect: put the
+   destination port name on the trace so `machsim trace` shows who the
+   reply was for, not just that one vanished. *)
+let trace_dropped_reply task (msg : Message.t) =
+  let tr = task.t_kernel.k_kctx.Mach_vm.Kctx.trace in
+  if Mach_sim.Trace.enabled tr then
+    Mach_sim.Trace.point tr ~span:msg.header.trace_span ~subsystem:"pager"
+      (Format.asprintf "dropped_reply:%a" Mach_ipc.Port.pp msg.header.dest)
+
 let send t msg =
   match Syscalls.msg_send t.srv_task msg with
   | Ok () -> ()
-  | Error _ -> ( match t.on_send_error with Some f -> f () | None -> ())
+  | Error _ ->
+    trace_dropped_reply t.srv_task msg;
+    (match t.on_send_error with Some f -> f () | None -> ())
 
 let m2k t call ~request = send t (Pager_iface.encode_m2k call ~request)
 

@@ -77,6 +77,11 @@ val set_send_error_hook : t -> (unit -> unit) -> unit
     request port died); the pager runtime counts these as dropped
     replies instead of silently discarding them. *)
 
+val trace_dropped_reply : task -> Message.t -> unit
+(** Emit a ["pager"] trace point naming the reply's destination port,
+    so dropped replies are diagnosable from [machsim trace] and not
+    just visible as a counter. *)
+
 (** {2 Table 3-6 calls (manager → kernel)} *)
 
 val data_provided :

@@ -28,7 +28,9 @@ let serve ?service_threads
   let send msg =
     match Mach_kernel.Syscalls.msg_send srv_task msg with
     | Ok () -> Ok ()
-    | Error _ -> Error ()
+    | Error _ ->
+      Mos.trace_dropped_reply srv_task msg;
+      Error ()
   in
   let kctx = srv_task.t_kernel.k_kctx in
   let rt =

@@ -1,5 +1,6 @@
 module Engine = Mach_sim.Engine
 module Mailbox = Mach_sim.Mailbox
+module Net = Mach_hw.Net
 
 (* Remote deliveries for one destination host drain through a single
    daemon thread; a burst of sends queues work instead of forking a
@@ -12,16 +13,96 @@ type delivery = {
   overflow : (unit -> unit) Queue.t;
 }
 
+(* --- reliable channels ---------------------------------------------------
+
+   When [reliable] is on (chaos fabrics), every remote delivery rides a
+   per-(src,dst) sequenced channel: packets carry (epoch, seq), the
+   receiver holds out-of-order arrivals until the gap fills (FIFO
+   resequencing), drops anything it has already seen (dedup), and acks
+   cumulatively. The sender retransmits everything unacked (go-back-N)
+   under exponential backoff; [retry_budget] consecutive silent rounds
+   declare the channel down, after which sends fail fast until a
+   heal/restart resets the link with a higher epoch. *)
+
+let seq_header_bytes = 16
+let ack_bytes = 16
+let default_retry_budget = 10
+
+type packet = {
+  pk_seq : int;
+  pk_bytes : int;  (* payload bytes, excluding the sequence header *)
+  pk_thunk : unit -> unit;
+}
+
+type chan_tx = {
+  tx_src : int;
+  tx_dst : int;
+  mutable tx_epoch : int;
+  mutable tx_next : int;
+  tx_unacked : (int, packet) Hashtbl.t;
+  mutable tx_strikes : int;
+  mutable tx_timer_gen : int;  (* bumping this orphans any armed timer *)
+  mutable tx_down : bool;
+}
+
+type chan_rx = {
+  mutable rx_epoch : int;
+  mutable rx_next : int;
+  rx_hold : (int, unit -> unit) Hashtbl.t;
+}
+
+type chan_stats = {
+  mutable c_data_pkts : int;
+  mutable c_acks : int;
+  mutable c_retransmits : int;
+  mutable c_dup_dropped : int;
+  mutable c_resequenced : int;
+  mutable c_aborts : int;
+  mutable c_resets : int;
+  mutable c_stale_epoch : int;
+}
+
 type t = {
   engine : Mach_sim.Engine.t;
-  net : Mach_hw.Net.t;
+  net : Net.t;
   mutable next_id : int;
   deliveries : (int, delivery) Hashtbl.t;
+  mutable reliable : bool;
+  mutable retry_budget : int;
+  txs : (int * int, chan_tx) Hashtbl.t;
+  rxs : (int * int, chan_rx) Hashtbl.t;
+  cstats : chan_stats;
+  ports : (int, (unit -> int) * (unit -> unit)) Hashtbl.t;
+      (* port id -> (home getter, destroyer): lets a host crash find and
+         kill every port homed there without knowing message types *)
 }
 
 let delivery_queue_bound = 256
 
-let create engine net = { engine; net; next_id = 1; deliveries = Hashtbl.create 8 }
+let create engine net =
+  {
+    engine;
+    net;
+    next_id = 1;
+    deliveries = Hashtbl.create 8;
+    reliable = false;
+    retry_budget = default_retry_budget;
+    txs = Hashtbl.create 8;
+    rxs = Hashtbl.create 8;
+    cstats =
+      {
+        c_data_pkts = 0;
+        c_acks = 0;
+        c_retransmits = 0;
+        c_dup_dropped = 0;
+        c_resequenced = 0;
+        c_aborts = 0;
+        c_resets = 0;
+        c_stale_epoch = 0;
+      };
+    ports = Hashtbl.create 64;
+  }
+
 let engine t = t.engine
 let net t = t.net
 
@@ -66,3 +147,267 @@ let delivery_backlog t ~dst =
   match Hashtbl.find_opt t.deliveries dst with
   | None -> 0
   | Some d -> Mailbox.length d.dq + Queue.length d.overflow
+
+(* --- channel plumbing ---------------------------------------------------- *)
+
+let set_reliable t b = t.reliable <- b
+let reliable t = t.reliable
+let set_retry_budget t n = t.retry_budget <- max 1 n
+
+let tx_chan t ~src ~dst =
+  match Hashtbl.find_opt t.txs (src, dst) with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        tx_src = src;
+        tx_dst = dst;
+        tx_epoch = 1;
+        tx_next = 1;
+        tx_unacked = Hashtbl.create 16;
+        tx_strikes = 0;
+        tx_timer_gen = 0;
+        tx_down = false;
+      }
+    in
+    Hashtbl.replace t.txs (src, dst) c;
+    c
+
+let rx_chan t ~src ~dst =
+  match Hashtbl.find_opt t.rxs (src, dst) with
+  | Some c -> c
+  | None ->
+    let c = { rx_epoch = 0; rx_next = 1; rx_hold = Hashtbl.create 16 } in
+    Hashtbl.replace t.rxs (src, dst) c;
+    c
+
+(* Retransmission timeout: current link queueing both ways, plus a
+   round trip with slack for the largest packet still in flight,
+   doubled per silent round, capped. The backlog term matters: the
+   wire serializes per link, so under sustained traffic an ack is
+   delayed by every transmission queued ahead of it — a timeout blind
+   to that reads congestion as loss and the retransmissions feed the
+   very queue that is delaying the acks. *)
+let rto t chan =
+  let max_bytes =
+    Hashtbl.fold (fun _ pk acc -> max acc pk.pk_bytes) chan.tx_unacked 0
+  in
+  let base =
+    Net.backlog_us t.net ~src:chan.tx_src ~dst:chan.tx_dst
+    +. Net.backlog_us t.net ~src:chan.tx_dst ~dst:chan.tx_src
+    +. (4.0 *. Net.latency_us t.net)
+    +. (2.0 *. Net.us_per_byte t.net *. float_of_int (max_bytes + seq_header_bytes))
+    +. 500.0
+  in
+  let scale = float_of_int (1 lsl min chan.tx_strikes 4) in
+  base *. scale
+
+let rec handle_ack t ~src ~dst ~epoch ~cum =
+  match Hashtbl.find_opt t.txs (src, dst) with
+  | None -> ()
+  | Some chan ->
+    if epoch <> chan.tx_epoch then t.cstats.c_stale_epoch <- t.cstats.c_stale_epoch + 1
+    else begin
+      let progress = ref false in
+      for seq = 1 to cum do
+        if Hashtbl.mem chan.tx_unacked seq then begin
+          Hashtbl.remove chan.tx_unacked seq;
+          progress := true
+        end
+      done;
+      if !progress then begin
+        chan.tx_strikes <- 0;
+        (* The watchdog measures silence since the peer's last progress,
+           not time since the window opened: restart it for the packets
+           still outstanding (their deadline was set for an older,
+           shorter queue), or disarm it when the window drained. *)
+        if Hashtbl.length chan.tx_unacked = 0 then
+          chan.tx_timer_gen <- chan.tx_timer_gen + 1
+        else arm_timer t chan
+      end
+    end
+
+and rx_ingest t ~src ~dst ~epoch ~seq thunk =
+  let chan = rx_chan t ~src ~dst in
+  if epoch < chan.rx_epoch then t.cstats.c_stale_epoch <- t.cstats.c_stale_epoch + 1
+  else begin
+    if epoch > chan.rx_epoch then begin
+      (* Peer reset the link (heal, restart): adopt the new epoch and
+         forget everything buffered from the old one. *)
+      if chan.rx_epoch > 0 then t.cstats.c_resets <- t.cstats.c_resets + 1;
+      chan.rx_epoch <- epoch;
+      chan.rx_next <- 1;
+      Hashtbl.reset chan.rx_hold
+    end;
+    if seq < chan.rx_next || Hashtbl.mem chan.rx_hold seq then
+      t.cstats.c_dup_dropped <- t.cstats.c_dup_dropped + 1
+    else begin
+      if seq <> chan.rx_next then t.cstats.c_resequenced <- t.cstats.c_resequenced + 1;
+      Hashtbl.replace chan.rx_hold seq thunk;
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt chan.rx_hold chan.rx_next with
+        | None -> continue := false
+        | Some th ->
+          Hashtbl.remove chan.rx_hold chan.rx_next;
+          chan.rx_next <- chan.rx_next + 1;
+          deliver_to t ~dst th
+      done
+    end;
+    (* Always ack, even for duplicates: a lost ack is indistinguishable
+       from a lost packet, and the re-ack is what stops the retransmit. *)
+    t.cstats.c_acks <- t.cstats.c_acks + 1;
+    let cum = chan.rx_next - 1 in
+    Net.deliver t.net ~src:dst ~dst:src ~bytes:ack_bytes (fun () ->
+        handle_ack t ~src ~dst ~epoch ~cum)
+  end
+
+and transmit t chan pk =
+  let epoch = chan.tx_epoch in
+  let src = chan.tx_src and dst = chan.tx_dst in
+  Net.deliver t.net ~src ~dst ~bytes:(pk.pk_bytes + seq_header_bytes) (fun () ->
+      rx_ingest t ~src ~dst ~epoch ~seq:pk.pk_seq pk.pk_thunk)
+
+and arm_timer t chan =
+  chan.tx_timer_gen <- chan.tx_timer_gen + 1;
+  let gen = chan.tx_timer_gen in
+  Engine.schedule t.engine
+    ~at:(Engine.now t.engine +. rto t chan)
+    (fun () ->
+      if gen = chan.tx_timer_gen && (not chan.tx_down)
+         && Hashtbl.length chan.tx_unacked > 0
+      then begin
+        chan.tx_strikes <- chan.tx_strikes + 1;
+        if chan.tx_strikes > t.retry_budget then begin
+          (* Watchdog: the peer has been silent through the whole retry
+             budget — declare the channel down and shed its queue.
+             Subsequent sends fail fast with [`Unreachable]. *)
+          chan.tx_down <- true;
+          Hashtbl.reset chan.tx_unacked;
+          t.cstats.c_aborts <- t.cstats.c_aborts + 1
+        end
+        else begin
+          let pending =
+            Hashtbl.fold (fun _ pk acc -> pk :: acc) chan.tx_unacked []
+            |> List.sort (fun a b -> compare a.pk_seq b.pk_seq)
+          in
+          List.iter
+            (fun pk ->
+              t.cstats.c_retransmits <- t.cstats.c_retransmits + 1;
+              Net.note_retransmit t.net;
+              transmit t chan pk)
+            pending;
+          arm_timer t chan
+        end
+      end)
+
+let remote_deliver t ~src ~dst ~bytes thunk =
+  if (not t.reliable) || src = dst then begin
+    Net.deliver t.net ~src ~dst ~bytes (fun () -> deliver_to t ~dst thunk);
+    Ok ()
+  end
+  else begin
+    let chan = tx_chan t ~src ~dst in
+    if chan.tx_down then Error `Unreachable
+    else begin
+      let pk = { pk_seq = chan.tx_next; pk_bytes = bytes; pk_thunk = thunk } in
+      chan.tx_next <- chan.tx_next + 1;
+      Hashtbl.replace chan.tx_unacked pk.pk_seq pk;
+      t.cstats.c_data_pkts <- t.cstats.c_data_pkts + 1;
+      transmit t chan pk;
+      if Hashtbl.length chan.tx_unacked = 1 then arm_timer t chan;
+      Ok ()
+    end
+  end
+
+let chan_down t ~src ~dst =
+  match Hashtbl.find_opt t.txs (src, dst) with Some c -> c.tx_down | None -> false
+
+let reset_tx t chan =
+  chan.tx_epoch <- chan.tx_epoch + 1;
+  chan.tx_next <- 1;
+  Hashtbl.reset chan.tx_unacked;
+  chan.tx_strikes <- 0;
+  chan.tx_timer_gen <- chan.tx_timer_gen + 1;
+  chan.tx_down <- false;
+  t.cstats.c_resets <- t.cstats.c_resets + 1
+
+(* Heal semantics: a direction that survived the partition (watchdog
+   never tripped) still holds its unacked packets — leave it alone and
+   let the next retransmit round carry them across. Only a downed
+   direction needs the epoch-bump reset. *)
+let reset_link t a b =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.txs key with
+      | Some chan when chan.tx_down -> reset_tx t chan
+      | Some _ | None -> ())
+    [ (a, b); (b, a) ]
+
+(* --- port registry & host failure --------------------------------------- *)
+
+let register_port t ~id ~home ~destroy = Hashtbl.replace t.ports id (home, destroy)
+let forget_port t ~id = Hashtbl.remove t.ports id
+
+let reset_host_chans t ~host =
+  Hashtbl.iter (fun (src, dst) chan -> if src = host || dst = host then reset_tx t chan)
+    t.txs;
+  let stale =
+    Hashtbl.fold (fun ((src, dst) as key) _ acc ->
+        if src = host || dst = host then key :: acc else acc)
+      t.rxs []
+  in
+  List.iter
+    (fun key ->
+      let c = Hashtbl.find t.rxs key in
+      (* The crashed side lost its receive state; the surviving side
+         will adopt the peer's next epoch on first contact. *)
+      Hashtbl.reset c.rx_hold;
+      Hashtbl.remove t.rxs key)
+    stale
+
+let crash_host t ~host =
+  (* Snapshot first: destroying a port runs death hooks that may create
+     or destroy further ports. May block (death hooks charge compute),
+     so only call from a simulated thread. *)
+  let victims =
+    Hashtbl.fold (fun id (home, destroy) acc ->
+        if home () = host then (id, destroy) :: acc else acc)
+      t.ports []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (id, destroy) ->
+      Hashtbl.remove t.ports id;
+      destroy ())
+    victims;
+  reset_host_chans t ~host;
+  List.length victims
+
+let restart_host t ~host = reset_host_chans t ~host
+
+(* --- accounting ---------------------------------------------------------- *)
+
+let chan_stats_to_list t =
+  let s = t.cstats in
+  [
+    ("data_pkts", s.c_data_pkts);
+    ("acks", s.c_acks);
+    ("retransmits", s.c_retransmits);
+    ("dup_dropped", s.c_dup_dropped);
+    ("resequenced", s.c_resequenced);
+    ("aborts", s.c_aborts);
+    ("resets", s.c_resets);
+    ("stale_epoch", s.c_stale_epoch);
+  ]
+
+let reset_chan_stats t =
+  let s = t.cstats in
+  s.c_data_pkts <- 0;
+  s.c_acks <- 0;
+  s.c_retransmits <- 0;
+  s.c_dup_dropped <- 0;
+  s.c_resequenced <- 0;
+  s.c_aborts <- 0;
+  s.c_resets <- 0;
+  s.c_stale_epoch <- 0

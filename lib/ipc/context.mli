@@ -1,8 +1,10 @@
 (** Shared state of one simulated IPC universe: the event engine, the
-    inter-host network, the id allocator, and the per-destination
-    remote-delivery daemons. Every port and port space belongs to
-    exactly one context, so runs are deterministic and two simulations
-    never interfere. *)
+    inter-host network, the id allocator, the per-destination
+    remote-delivery daemons, and (on chaos fabrics) the reliable
+    channel layer that gives remote delivery exactly-once effects over
+    a lossy wire. Every port and port space belongs to exactly one
+    context, so runs are deterministic and two simulations never
+    interfere. *)
 
 type t
 
@@ -19,3 +21,56 @@ val deliver_to : t -> dst:int -> (unit -> unit) -> unit
 
 val delivery_backlog : t -> dst:int -> int
 (** Thunks queued for [dst]'s daemon (0 when no daemon is running). *)
+
+(** {2 Reliable channels}
+
+    Off by default: with [reliable] false, {!remote_deliver} is exactly
+    the classic direct path ([Net.deliver] into {!deliver_to}) with
+    identical message counts and timing. Turning it on routes every
+    remote delivery through a per-(src,dst) sequenced channel:
+    (epoch, seq) headers, receiver-side dedup + FIFO resequencing,
+    cumulative acks, go-back-N retransmission under exponential backoff,
+    and a watchdog that declares the channel down after [retry_budget]
+    silent rounds so a partitioned peer surfaces as a clean send
+    error instead of a hung thread. *)
+
+val set_reliable : t -> bool -> unit
+val reliable : t -> bool
+
+val set_retry_budget : t -> int -> unit
+(** Consecutive silent retransmit rounds tolerated before the channel
+    is declared down (clamped to at least 1; default 10). *)
+
+val remote_deliver :
+  t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> (unit, [ `Unreachable ]) result
+(** Deliver [thunk] on host [dst], paying the wire cost of [bytes].
+    Never blocks. [Error `Unreachable] means the channel to [dst] has
+    exhausted its retry budget and is down; it stays down until
+    {!reset_link} or {!restart_host}. *)
+
+val chan_down : t -> src:int -> dst:int -> bool
+
+val reset_link : t -> int -> int -> unit
+(** Revive both directions of a link: bump the epoch, clear in-flight
+    state, clear the down flag. Wired to [Chaos.on_heal]. *)
+
+(** {2 Port registry and host failure} *)
+
+val register_port : t -> id:int -> home:(unit -> int) -> destroy:(unit -> unit) -> unit
+val forget_port : t -> id:int -> unit
+
+val crash_host : t -> host:int -> int
+(** Kill a host: destroy every registered port homed there (running
+    death hooks, which is how remote holders learn their proxies died)
+    and reset every channel touching the host. Returns the number of
+    ports destroyed. Death hooks may block, so call from a simulated
+    thread, never from an [Engine.schedule] callback. *)
+
+val restart_host : t -> host:int -> unit
+(** Bring a crashed host's channels back: epoch bump + down-flag clear,
+    so the first new contact resynchronizes both sides. *)
+
+(** {2 Channel accounting} *)
+
+val chan_stats_to_list : t -> (string * int) list
+val reset_chan_stats : t -> unit

@@ -11,17 +11,37 @@ type 'msg t = {
   mutable next_hook : int;
 }
 
-let create ctx ~home ?(backlog = 32) () =
-  {
-    id = Context.fresh_id ctx;
-    ctx;
-    home;
-    queue = Mailbox.create ~capacity:backlog ();
-    alive = true;
-    death_hooks = [];
-    arrival_hooks = [];
-    next_hook = 0;
-  }
+let rec create ctx ~home ?(backlog = 32) () =
+  let t =
+    {
+      id = Context.fresh_id ctx;
+      ctx;
+      home;
+      queue = Mailbox.create ~capacity:backlog ();
+      alive = true;
+      death_hooks = [];
+      arrival_hooks = [];
+      next_hook = 0;
+    }
+  in
+  (* Registered untyped so a host crash can find and destroy every port
+     homed on the dead host without knowing message types. *)
+  Context.register_port ctx ~id:t.id
+    ~home:(fun () -> t.home)
+    ~destroy:(fun () -> destroy t);
+  t
+
+and destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    Context.forget_port t.ctx ~id:t.id;
+    let hooks = List.rev t.death_hooks in
+    t.death_hooks <- [];
+    (* Drop queued messages and wake blocked receivers/senders with the
+       death (RCV_PORT_DIED semantics). *)
+    Mailbox.close t.queue;
+    List.iter (fun (_, f) -> f ()) hooks
+  end
 
 let id t = t.id
 let context t = t.ctx
@@ -32,17 +52,6 @@ let backlog t = match Mailbox.capacity t.queue with Some c -> c | None -> max_in
 let set_backlog t n = if t.alive then Mailbox.set_capacity t.queue (Some n)
 let queued t = Mailbox.length t.queue
 let queue t = t.queue
-
-let destroy t =
-  if t.alive then begin
-    t.alive <- false;
-    let hooks = List.rev t.death_hooks in
-    t.death_hooks <- [];
-    (* Drop queued messages and wake blocked receivers/senders with the
-       death (RCV_PORT_DIED semantics). *)
-    Mailbox.close t.queue;
-    List.iter (fun (_, f) -> f ()) hooks
-  end
 
 let on_death t f =
   let hook_id = t.next_hook in

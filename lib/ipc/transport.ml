@@ -167,14 +167,19 @@ let send node ?timeout msg =
          home and are paged over on demand. Queue-full blocking
          happens in the destination host's delivery daemon. *)
       let ctx = Port.context dest in
-      let net = Context.net ctx in
       let dst = Port.home dest in
       let bytes = Message.wire_bytes msg in
-      Net.deliver net ~src:node.node_host ~dst ~bytes (fun () ->
-          Context.deliver_to ctx ~dst (fun () ->
-              if Port.alive dest then
-                match enqueue_local node ~donate:false dest msg with Ok () | Error _ -> ()));
-      Ok ()
+      match
+        Context.remote_deliver ctx ~src:node.node_host ~dst ~bytes (fun () ->
+            if Port.alive dest then
+              match enqueue_local node ~donate:false dest msg with Ok () | Error _ -> ())
+      with
+      | Ok () -> Ok ()
+      | Error `Unreachable ->
+        (* The reliable channel exhausted its retry budget: the peer is
+           partitioned or dead. Surface it as a timeout, the same error
+           a full queue produces. *)
+        Error Send_timed_out
     end
   end
 

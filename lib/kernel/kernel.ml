@@ -56,6 +56,23 @@ let boot engine ctx net ?trace ~host config =
       k_default_pager = None;
     }
   in
+  (* Fabric-wide stats (net, reliable channels, chaos) are shared by
+     every host; register them once, on host 0, so merged cluster
+     snapshots don't multiply them. *)
+  if host = 0 then begin
+    let metrics = kctx.Kctx.metrics in
+    Mach_util.Metrics.register_source metrics ~subsystem:"net"
+      ~reset:(fun () -> Net.reset_stats net)
+      (fun () -> Net.stats_to_list net);
+    Mach_util.Metrics.register_source metrics ~subsystem:"chan"
+      ~reset:(fun () -> Mach_ipc.Context.reset_chan_stats ctx)
+      (fun () -> Mach_ipc.Context.chan_stats_to_list ctx);
+    Mach_util.Metrics.register_source metrics ~subsystem:"chaos"
+      ~reset:(fun () ->
+        match Net.chaos net with Some c -> Mach_sim.Chaos.reset_stats c | None -> ())
+      (fun () ->
+        match Net.chaos net with Some c -> Mach_sim.Chaos.stats_to_list c | None -> [])
+  end;
   Pager_service.start kctx;
   Mach_vm.Pageout.start kctx;
   k.k_default_pager <- Some (Default_pager.start kctx ~disk:paging_disk);
@@ -81,9 +98,24 @@ type cluster = {
   c_ctx : Mach_ipc.Context.t;
   c_net : Net.t;
   c_kernels : kernel array;
+  c_chaos : Mach_sim.Chaos.t option;
 }
 
-let create_cluster ~hosts ?(config = default_config) ?net_latency_us ?net_us_per_byte () =
+(* Attach a chaos oracle to a cluster's fabric: faulty wire, reliable
+   channels on, fault events on the shared trace, and failure hooks
+   wired so a crash kills the host's ports (proxy-port death at every
+   remote holder) and a heal/restart resynchronizes the channels. *)
+let attach_chaos ctx net trace chaos =
+  Net.set_chaos net (Some chaos);
+  Mach_ipc.Context.set_reliable ctx true;
+  Mach_sim.Chaos.set_trace chaos (Some trace);
+  Mach_sim.Chaos.on_crash chaos (fun host ->
+      ignore (Mach_ipc.Context.crash_host ctx ~host));
+  Mach_sim.Chaos.on_restart chaos (fun host -> Mach_ipc.Context.restart_host ctx ~host);
+  Mach_sim.Chaos.on_heal chaos (fun a b -> Mach_ipc.Context.reset_link ctx a b)
+
+let create_cluster ~hosts ?(config = default_config) ?net_latency_us ?net_us_per_byte
+    ?chaos () =
   let engine = Engine.create () in
   let latency =
     match net_latency_us with Some l -> l | None -> config.params.Machine.net_latency_us
@@ -97,8 +129,20 @@ let create_cluster ~hosts ?(config = default_config) ?net_latency_us ?net_us_per
      faults served by a remote manager) land in one buffer in causal
      order. Each host keeps its own metrics registry. *)
   let trace = Mach_sim.Trace.create engine in
+  (* MACH_CHAOS lets any existing cluster workload run under a fault
+     plan without changing its code, e.g.
+     MACH_CHAOS="seed=7,drop=0.1,dup=0.05,reorder=0.1,jitter=500". *)
+  let chaos =
+    match chaos with
+    | Some _ -> chaos
+    | None -> (
+      match Sys.getenv_opt "MACH_CHAOS" with
+      | Some spec when spec <> "" -> Some (Mach_sim.Chaos.of_spec spec)
+      | Some _ | None -> None)
+  in
+  Option.iter (attach_chaos ctx net trace) chaos;
   let kernels = Array.init hosts (fun host -> boot engine ctx net ~trace ~host config) in
-  { c_engine = engine; c_ctx = ctx; c_net = net; c_kernels = kernels }
+  { c_engine = engine; c_ctx = ctx; c_net = net; c_kernels = kernels; c_chaos = chaos }
 
 let kctx k = k.k_kctx
 let stats k = k.k_kctx.Kctx.stats

@@ -46,6 +46,7 @@ type cluster = {
   c_ctx : Mach_ipc.Context.t;
   c_net : Mach_hw.Net.t;
   c_kernels : kernel array;
+  c_chaos : Mach_sim.Chaos.t option;
 }
 
 val create_cluster :
@@ -53,8 +54,16 @@ val create_cluster :
   ?config:config ->
   ?net_latency_us:float ->
   ?net_us_per_byte:float ->
+  ?chaos:Mach_sim.Chaos.t ->
   unit ->
   cluster
+(** [chaos] attaches a fault oracle to the cluster fabric: the wire
+    drops/duplicates/reorders per the plan, remote delivery switches to
+    the reliable channel layer, fault events land on the shared trace,
+    and crash/heal hooks are wired into the IPC context. When [chaos]
+    is absent the [MACH_CHAOS] environment variable (a
+    {!Mach_sim.Chaos.of_spec} string) is consulted, so any cluster
+    workload can run under a fault plan unmodified. *)
 
 val kctx : kernel -> Mach_vm.Kctx.t
 val stats : kernel -> Mach_vm.Vm_types.stats

@@ -115,7 +115,13 @@ let rec handle_request t region page_idx ~request ~want_write ~has_copy =
     end
   | Writer w ->
     if same_port w request then
-      execute_grant t page page_idx (Provide { g_request = request; g_write = want_write })
+      (* Already the writer. If it still holds the copy (an unlock that
+         crossed with a request we answered as a grant), a lock change
+         is what completes its fault; re-providing data would be
+         ignored by a kernel that has the page. *)
+      execute_grant t page page_idx
+        (if has_copy then Unlock { g_request = request }
+         else Provide { g_request = request; g_write = want_write })
     else
       start_transition t page page_idx [ w ]
         (Provide { g_request = request; g_write = want_write })
@@ -298,3 +304,4 @@ let page_state t ~region ~page =
 
 let invalidations t = t.invalidations
 let grants t = t.grants
+

@@ -201,8 +201,16 @@ let handle kctx map ~addr ~write ?policy () =
       let vpn = addr / ps in
       Pmap.enter pm ~vpn ~frame:page.frame ~prot;
       Vm_page.add_mapping page pm ~vpn;
+      (* Hold the page across the charge: the map-op sleep is a yield
+         point, and a manager flush landing inside it would revoke the
+         translation before the faulter ever retries the access —
+         under write contention the two kernels then revoke each other
+         forever. The flush waits for the hold to drain instead. *)
+      page.grant_hold <- page.grant_hold + 1;
       Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us;
-      burst_enter ()
+      burst_enter ();
+      page.grant_hold <- page.grant_hold - 1;
+      Waitq.broadcast page.busy_wait
     | Error _ -> ());
     Done
   in
@@ -217,8 +225,11 @@ let handle kctx map ~addr ~write ?policy () =
     let vpn = addr / ps in
     Pmap.enter pm ~vpn ~frame:page.frame ~prot;
     Vm_page.add_mapping page pm ~vpn;
+    page.grant_hold <- page.grant_hold + 1;
     Kctx.charge kctx kctx.Kctx.params.Machine.map_op_us;
     burst_enter ();
+    page.grant_hold <- page.grant_hold - 1;
+    Waitq.broadcast page.busy_wait;
     Done
   in
   (* ---- SLOW PATH -------------------------------------------------- *)

@@ -458,9 +458,13 @@ let fill_provided kctx obj ~offset ~data ~lock_value =
       stats.s_pageins <- stats.s_pageins + 1;
       Page_queues.activate kctx.Kctx.queues page;
       Vm_page.set_unbusy page
-    | Some _ ->
-      (* Data for a page the kernel already has: drop it. *)
-      ()
+    | Some page ->
+      (* Data for a page the kernel already has: the bytes are stale
+         (ours may be dirtier) but the lock is authoritative — the
+         manager may be answering a lock-change request it saw as a
+         re-request (the two can cross on the wire). Dropping the lock
+         here strands any faulter waiting for it. *)
+      apply_lock kctx page lock_value
     | None -> (
       (* Unsolicited pre-paged data from an advanced manager: accept it
          if a frame is available without waiting. *)
@@ -515,6 +519,14 @@ let flush_range kctx obj ~offset ~length ~keep =
   let rec walk = function
     | [] -> ()
     | page :: rest when page.busy || not (resident page) -> walk rest
+    | page :: rest when page.grant_hold > 0 ->
+      (* A faulter just validated a translation for this page and has
+         not yet retried its access. Let it commit before revoking —
+         flushing inside that window starves write-shared hot pages
+         (each kernel's grant revoked before use, forever). The hold
+         is released with a broadcast. *)
+      Mach_sim.Waitq.wait page.busy_wait;
+      walk (page :: rest)
     | page :: rest ->
       Vm_page.harvest_bits kctx page;
       if page.dirty then begin

@@ -25,6 +25,7 @@ let insert kctx obj ~offset ~frame ~busy ~absent =
       q_state = Q_none;
       q_node = None;
       mappings = [];
+      grant_hold = 0;
       cluster_spec = false;
     }
   in

@@ -88,6 +88,13 @@ and page = {
   mutable q_state : queue_state;
   mutable q_node : page Mach_util.Dlist.node option;
   mutable mappings : (Mach_hw.Pmap.t * int) list;  (** (pmap, vpn) validations *)
+  mutable grant_hold : int;
+      (** faulters that just validated a translation and have not yet
+          retried the access. A manager flush waits for the holds to
+          drain, so a freshly granted page is used at least once before
+          it is surrendered — otherwise two kernels write-sharing a hot
+          page can revoke each other's grants forever (the Li & Hudak
+          ping-pong livelock). *)
   mutable cluster_spec : bool;
       (** speculative cluster-in placeholder: requested as a neighbor of
           a hard fault, no faulter has asked for it yet. A fault that
